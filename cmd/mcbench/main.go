@@ -1,0 +1,114 @@
+// Command mcbench regenerates every figure of the paper's evaluation
+// (Figures 10-13) and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	mcbench -fig 10            # one figure (10, 11, 12, 13)
+//	mcbench -fig all           # everything
+//	mcbench -fig ablations     # the ablation suite
+//	mcbench -scale full        # full DESIGN.md grids (minutes)
+//
+// Figures 12 and 13 come from the same measurement run (throughput and
+// loss of the prototype emulation), so either -fig value produces both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wormlan/internal/core"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	seed := flag.Uint64("seed", 1996, "random seed")
+	perPoint := flag.Duration("perpoint", 0, "wall-clock time per emulation point (figs 12/13)")
+	flag.Parse()
+
+	scale := core.Quick
+	switch *scaleFlag {
+	case "quick":
+	case "full":
+		scale = core.Full
+	default:
+		fmt.Fprintf(os.Stderr, "mcbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	if want("10") {
+		run("fig10", func() error {
+			rows, err := core.Fig10(scale, *seed)
+			if err != nil {
+				return err
+			}
+			core.PrintFig10(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("11") {
+		run("fig11", func() error {
+			rows, err := core.Fig11(scale, *seed)
+			if err != nil {
+				return err
+			}
+			core.PrintFig11(os.Stdout, rows)
+			return nil
+		})
+	}
+	if want("12") || want("13") {
+		run("fig12+13", func() error {
+			single, all := core.Fig12And13(scale, *perPoint)
+			core.PrintFig12And13(os.Stdout, single, all)
+			return nil
+		})
+	}
+	if want("ablations") {
+		run("ablations", func() error {
+			bc, err := core.AblationBufferClasses(*seed)
+			if err != nil {
+				return err
+			}
+			core.PrintBufferClasses(os.Stdout, bc)
+			or, err := core.AblationOrdering(*seed)
+			if err != nil {
+				return err
+			}
+			core.PrintOrdering(os.Stdout, or)
+			tc, err := core.AblationTreeConstruction(*seed)
+			if err != nil {
+				return err
+			}
+			core.PrintTreeConstruction(os.Stdout, tc)
+			rt, err := core.AblationRouting()
+			if err != nil {
+				return err
+			}
+			core.PrintRouting(os.Stdout, rt)
+			fa, err := core.AblationFabricVsAdapter(*seed)
+			if err != nil {
+				return err
+			}
+			core.PrintFabricVsAdapter(os.Stdout, fa)
+			bs, err := core.BufferOccupancyStudy(*seed, []float64{0.01, 0.02, 0.04, 0.06})
+			if err != nil {
+				return err
+			}
+			core.PrintBufferStudy(os.Stdout, bs)
+			return nil
+		})
+	}
+}

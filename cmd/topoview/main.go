@@ -1,0 +1,94 @@
+// Command topoview inspects a topology: node/link summary, the up/down
+// spanning tree labelling, route statistics, and optional Graphviz DOT
+// output.
+//
+// Example:
+//
+//	topoview -topology torus8x8 -routes
+//	topoview -topology myrinet4 -dot > myrinet4.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+func main() {
+	topoName := flag.String("topology", "myrinet4", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, star:N, line:N, ring:N")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT and exit")
+	routes := flag.Bool("routes", false, "print route statistics")
+	flag.Parse()
+
+	g, err := build(*topoName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoview: %v\n", err)
+		os.Exit(2)
+	}
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	s := g.Summary()
+	fmt.Printf("topology %s: %d switches, %d hosts, %d links, diameter %d, max switch degree %d\n",
+		*topoName, s.Switches, s.Hosts, s.Links, s.Diameter, s.MaxSwitchDegree)
+
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topoview: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("up/down root: %s\n", g.Node(ud.Root).Name)
+	levels := map[int]int{}
+	for _, sw := range g.Switches() {
+		levels[ud.Level[sw]]++
+	}
+	for l := 0; ; l++ {
+		n, ok := levels[l]
+		if !ok {
+			break
+		}
+		fmt.Printf("  level %d: %d switches\n", l, n)
+	}
+	if *routes {
+		free, err := ud.NewTable(false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topoview: %v\n", err)
+			os.Exit(1)
+		}
+		restricted, err := ud.NewTable(true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topoview: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mean route hops: up/down=%.2f tree-restricted=%.2f\n",
+			free.MeanHops(), restricted.MeanHops())
+	}
+}
+
+func build(name string) (*topology.Graph, error) {
+	switch name {
+	case "torus8x8":
+		return topology.Torus(8, 8, 1, 1), nil
+	case "torus4x4":
+		return topology.Torus(4, 4, 1, 1), nil
+	case "shufflenet24":
+		return topology.BidirShufflenet(2, 3, 1000), nil
+	case "myrinet4":
+		return topology.Myrinet4(), nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "star:%d", &n); err == nil {
+		return topology.Star(n), nil
+	}
+	if _, err := fmt.Sscanf(name, "line:%d", &n); err == nil {
+		return topology.Line(n, 1), nil
+	}
+	if _, err := fmt.Sscanf(name, "ring:%d", &n); err == nil {
+		return topology.Ring(n, 1), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}

@@ -1,0 +1,144 @@
+// Command wormsim runs a single wormhole-LAN simulation and prints its
+// measurements: the building block behind cmd/mcbench for exploring
+// parameter points the paper did not sweep.
+//
+// Example:
+//
+//	wormsim -topology torus8x8 -scheme tree -load 0.03 -pmc 0.1 \
+//	        -groups 10 -groupsize 10 -measure 400000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/sim"
+	"wormlan/internal/topology"
+)
+
+// loadConfigFile reads a topology+groups configuration file (the format of
+// the paper's simulator; see topology.ParseConfig).
+func loadConfigFile(path string) (*topology.Graph, map[int][]topology.NodeID, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return topology.ParseConfig(f)
+}
+
+func buildTopology(name string, delay int64) (*topology.Graph, error) {
+	switch {
+	case name == "torus8x8":
+		return topology.Torus(8, 8, 1, delay), nil
+	case name == "torus4x4":
+		return topology.Torus(4, 4, 1, delay), nil
+	case name == "shufflenet24":
+		if delay == 0 {
+			delay = 1000
+		}
+		return topology.BidirShufflenet(2, 3, delay), nil
+	case name == "myrinet4":
+		return topology.Myrinet4(), nil
+	case strings.HasPrefix(name, "star:"):
+		var n int
+		if _, err := fmt.Sscanf(name, "star:%d", &n); err != nil {
+			return nil, err
+		}
+		return topology.Star(n), nil
+	case strings.HasPrefix(name, "line:"):
+		var n int
+		if _, err := fmt.Sscanf(name, "line:%d", &n); err != nil {
+			return nil, err
+		}
+		return topology.Line(n, delay), nil
+	case strings.HasPrefix(name, "ring:"):
+		var n int
+		if _, err := fmt.Sscanf(name, "ring:%d", &n); err != nil {
+			return nil, err
+		}
+		return topology.Ring(n, delay), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func pickScheme(name string) (sim.Scheme, error) {
+	for _, s := range []sim.Scheme{sim.HamiltonianSF, sim.HamiltonianCT,
+		sim.TreeSF, sim.TreeCT, sim.TreeFlood} {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return sim.Scheme{}, fmt.Errorf("unknown scheme %q (try hamiltonian, hamiltonian-cut-thru, tree, tree-cut-thru, tree-flood)", name)
+}
+
+func main() {
+	configPath := flag.String("config", "", "topology+groups configuration file (overrides -topology/-groups)")
+	topoName := flag.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, star:N, line:N, ring:N")
+	schemeName := flag.String("scheme", "tree", "multicast scheme")
+	load := flag.Float64("load", 0.02, "offered load (generated output-link utilization per host)")
+	pmc := flag.Float64("pmc", 0.1, "probability a generated worm is multicast")
+	groups := flag.Int("groups", 10, "number of multicast groups")
+	groupSize := flag.Int("groupsize", 10, "members per group")
+	meanWorm := flag.Int("meanworm", 400, "mean worm length in bytes")
+	warmup := flag.Int64("warmup", 50_000, "warm-up byte-times (discarded)")
+	measure := flag.Int64("measure", 300_000, "measurement window in byte-times")
+	linkDelay := flag.Int64("delay", 0, "inter-switch link delay in byte-times (0 = topology default)")
+	seed := flag.Uint64("seed", 1996, "random seed")
+	ordered := flag.Bool("ordered", false, "total ordering via the lowest-ID serializer")
+	reliable := flag.Bool("reliable", false, "use the full ACK/NACK reservation protocol instead of the paper's plain-forwarding simulation mode")
+	flag.Parse()
+
+	var g *topology.Graph
+	var fileGroups map[int][]topology.NodeID
+	var err error
+	if *configPath != "" {
+		g, fileGroups, err = loadConfigFile(*configPath)
+	} else {
+		g, err = buildTopology(*topoName, *linkDelay)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+		os.Exit(2)
+	}
+	scheme, err := pickScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := sim.Run(sim.Config{
+		Graph:         g,
+		Scheme:        scheme,
+		TotalOrdering: *ordered,
+		OfferedLoad:   *load,
+		MulticastProb: *pmc,
+		MeanWorm:      *meanWorm,
+		NumGroups:     *groups,
+		GroupSize:     *groupSize,
+		Groups:        fileGroups,
+		Warmup:        *warmup,
+		Measure:       *measure,
+		Seed:          *seed,
+		Adapter:       adapter.Config{PlainForwarding: !*reliable},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("multicast latency: mean=%.0f std=%.0f min=%.0f max=%.0f (n=%d)\n",
+		res.MCLatency.Mean(), res.MCLatency.Std(), res.MCLatency.Min(), res.MCLatency.Max(), res.MCLatency.N())
+	fmt.Printf("unicast latency:   mean=%.0f std=%.0f (n=%d)\n",
+		res.UniLatency.Mean(), res.UniLatency.Std(), res.UniLatency.N())
+	fmt.Printf("generated worms:   %d (%d multicast)\n", res.GeneratedWorms, res.GeneratedMC)
+	fmt.Printf("adapter stats:     %+v\n", res.Adapter)
+	fmt.Printf("fabric counters:   %+v\n", res.Fabric)
+	if res.Stalled {
+		fmt.Println("WARNING: worms remained frozen in the fabric (deadlock symptom)")
+		os.Exit(1)
+	}
+}

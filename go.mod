@@ -1,0 +1,3 @@
+module wormlan
+
+go 1.22

@@ -1,0 +1,477 @@
+package adapter
+
+import (
+	"testing"
+
+	"wormlan/internal/des"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// testbed bundles a kernel, fabric, and adapter system over a topology,
+// recording application deliveries.
+type testbed struct {
+	k   *des.Kernel
+	g   *topology.Graph
+	sys *System
+
+	// deliveries[host] is the ordered list of transfer IDs delivered to
+	// that host's application (0 for unicast worms).
+	deliveries map[topology.NodeID][]int64
+	times      map[topology.NodeID][]des.Time
+	unicasts   int
+}
+
+func newTestbed(t *testing.T, g *topology.Graph, cfg Config) *testbed {
+	t.Helper()
+	tb := &testbed{
+		k: des.NewKernel(), g: g,
+		deliveries: map[topology.NodeID][]int64{},
+		times:      map[topology.NodeID][]des.Time{},
+	}
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ud.NewTable(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := network.New(tb.k, g, ud, network.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.sys = NewSystem(tb.k, f, tbl, cfg, 42)
+	tb.sys.OnAppDeliver = func(d AppDelivery) {
+		id := int64(0)
+		if d.Transfer != nil {
+			id = d.Transfer.ID
+		} else {
+			tb.unicasts++
+		}
+		tb.deliveries[d.Host] = append(tb.deliveries[d.Host], id)
+		tb.times[d.Host] = append(tb.times[d.Host], d.At)
+	}
+	return tb
+}
+
+func (tb *testbed) run(t *testing.T) {
+	t.Helper()
+	if err := tb.k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkQuiescent asserts the protocol invariant that after the system
+// drains, every reservation has been released and no hop is outstanding.
+func (tb *testbed) checkQuiescent(t *testing.T) {
+	t.Helper()
+	for _, h := range tb.g.Hosts() {
+		a := tb.sys.Adapter(h)
+		c1, c2, dma := a.Pools()
+		if c1.Used != 0 || c2.Used != 0 {
+			t.Fatalf("host %d: leaked buffers class1=%d class2=%d", h, c1.Used, c2.Used)
+		}
+		if dma != nil && dma.Used != 0 {
+			t.Fatalf("host %d: leaked DMA bytes %d", h, dma.Used)
+		}
+		if len(a.held) != 0 {
+			t.Fatalf("host %d: %d transfers still held", h, len(a.held))
+		}
+		if len(a.outstanding) != 0 {
+			t.Fatalf("host %d: %d hops still outstanding", h, len(a.outstanding))
+		}
+		if len(a.arriving) != 0 {
+			t.Fatalf("host %d: %d arrivals still pending", h, len(a.arriving))
+		}
+	}
+}
+
+func (tb *testbed) addGroup(t *testing.T, id int, members []topology.NodeID) *Structure {
+	t.Helper()
+	grp, err := multicast.NewGroup(id, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tb.sys.AddGroup(grp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestCircuitDeliversToAllMembers(t *testing.T) {
+	g := topology.Torus(3, 3, 1, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit})
+	hosts := g.Hosts()
+	members := []topology.NodeID{hosts[0], hosts[2], hosts[4], hosts[7]}
+	tb.addGroup(t, 1, members)
+	xfer, err := tb.sys.Adapter(hosts[2]).SendMulticast(1, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.run(t)
+	for _, m := range members {
+		if got := tb.deliveries[m]; len(got) != 1 || got[0] != xfer.ID {
+			t.Fatalf("member %d deliveries %v", m, got)
+		}
+	}
+	for _, h := range hosts {
+		isMember := false
+		for _, m := range members {
+			isMember = isMember || m == h
+		}
+		if !isMember && len(tb.deliveries[h]) != 0 {
+			t.Fatalf("non-member %d received %v", h, tb.deliveries[h])
+		}
+	}
+	st := tb.sys.Stats()
+	if st.Nacks != 0 || st.Retransmits != 0 || st.GiveUps != 0 {
+		t.Fatalf("unexpected protocol friction: %+v", st)
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestCircuitNonMemberCannotSend(t *testing.T) {
+	g := topology.Star(4)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts[:3])
+	if _, err := tb.sys.Adapter(hosts[3]).SendMulticast(1, 100); err == nil {
+		t.Fatal("non-member multicast accepted")
+	}
+	if _, err := tb.sys.Adapter(hosts[0]).SendMulticast(9, 100); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := tb.sys.Adapter(hosts[0]).SendMulticast(1, 0); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+}
+
+func TestCircuitReturnToSender(t *testing.T) {
+	g := topology.Star(5)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ReturnToSender: true})
+	hosts := g.Hosts()
+	members := hosts[:4]
+	tb.addGroup(t, 1, members)
+	xfer, _ := tb.sys.Adapter(members[1]).SendMulticast(1, 200)
+	tb.run(t)
+	for _, m := range members {
+		if got := tb.deliveries[m]; len(got) != 1 || got[0] != xfer.ID {
+			t.Fatalf("member %d deliveries %v", m, got)
+		}
+	}
+	if tb.sys.Stats().Confirmations != 1 {
+		t.Fatalf("confirmations = %d", tb.sys.Stats().Confirmations)
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestTotalOrderingCircuit(t *testing.T) {
+	// Two concurrent multicasts from different origins: with total
+	// ordering every member must observe the same delivery order.
+	g := topology.Torus(3, 3, 1, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, TotalOrdering: true})
+	hosts := g.Hosts()
+	members := []topology.NodeID{hosts[1], hosts[3], hosts[5], hosts[6], hosts[8]}
+	tb.addGroup(t, 1, members)
+	tb.sys.Adapter(hosts[5]).SendMulticast(1, 300)
+	tb.sys.Adapter(hosts[8]).SendMulticast(1, 300)
+	tb.run(t)
+	ref := tb.deliveries[members[0]]
+	if len(ref) != 2 {
+		t.Fatalf("member %d got %d deliveries", members[0], len(ref))
+	}
+	for _, m := range members {
+		got := tb.deliveries[m]
+		if len(got) != 2 {
+			t.Fatalf("member %d got %v", m, got)
+		}
+		if got[0] != ref[0] || got[1] != ref[1] {
+			t.Fatalf("ordering violated: member %d saw %v, member %d saw %v",
+				members[0], ref, m, got)
+		}
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestTreeRootedOrderingAndDelivery(t *testing.T) {
+	g := topology.Torus(3, 3, 1, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeTreeRooted})
+	hosts := g.Hosts()
+	members := []topology.NodeID{hosts[0], hosts[2], hosts[3], hosts[6], hosts[7], hosts[8]}
+	tb.addGroup(t, 1, members)
+	tb.sys.Adapter(hosts[7]).SendMulticast(1, 250)
+	tb.sys.Adapter(hosts[2]).SendMulticast(1, 250)
+	tb.run(t)
+	ref := tb.deliveries[members[0]]
+	if len(ref) != 2 {
+		t.Fatalf("root deliveries %v", ref)
+	}
+	for _, m := range members {
+		got := tb.deliveries[m]
+		if len(got) != 2 || got[0] != ref[0] || got[1] != ref[1] {
+			t.Fatalf("rooted tree ordering violated at %d: %v vs %v", m, got, ref)
+		}
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestTreeFloodDeliversOnceEach(t *testing.T) {
+	g := topology.Torus(3, 3, 1, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeTreeFlood})
+	hosts := g.Hosts()
+	members := []topology.NodeID{hosts[0], hosts[1], hosts[4], hosts[5], hosts[6]}
+	tb.addGroup(t, 1, members)
+	// Originate from a mid-tree member so the flood both climbs and
+	// descends (exercising both buffer classes).
+	xfer, _ := tb.sys.Adapter(hosts[4]).SendMulticast(1, 500)
+	tb.run(t)
+	for _, m := range members {
+		if got := tb.deliveries[m]; len(got) != 1 || got[0] != xfer.ID {
+			t.Fatalf("member %d deliveries %v", m, got)
+		}
+	}
+	if tb.sys.Stats().Duplicates != 0 {
+		t.Fatalf("flood produced duplicates: %+v", tb.sys.Stats())
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestNackAndRetransmit(t *testing.T) {
+	// Buffers sized for one worm: the second of two back-to-back
+	// multicasts must be NACKed at the busy forwarder and succeed on
+	// retransmission.
+	g := topology.Line(3, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ClassBytes: 450, AckTimeoutBase: 2048})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts)
+	a0 := tb.sys.Adapter(hosts[0])
+	x1, _ := a0.SendMulticast(1, 400)
+	x2, _ := a0.SendMulticast(1, 400)
+	tb.run(t)
+	for _, m := range hosts {
+		got := tb.deliveries[m]
+		if len(got) != 2 {
+			t.Fatalf("member %d deliveries %v", m, got)
+		}
+		seen := map[int64]bool{got[0]: true, got[1]: true}
+		if !seen[x1.ID] || !seen[x2.ID] {
+			t.Fatalf("member %d missing a transfer: %v", m, got)
+		}
+	}
+	st := tb.sys.Stats()
+	if st.Nacks == 0 {
+		t.Fatalf("expected NACKs under tight buffers: %+v", st)
+	}
+	if st.Retransmits == 0 {
+		t.Fatalf("expected retransmissions: %+v", st)
+	}
+	if st.GiveUps != 0 {
+		t.Fatalf("gave up: %+v", st)
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestDMAExtensionAbsorbsOverflow(t *testing.T) {
+	// Class pools far smaller than the worm: only the [VLB96] host-DMA
+	// extension makes the transfer possible.
+	g := topology.Line(3, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ClassBytes: 100, DMABytes: 4096})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts)
+	tb.sys.Adapter(hosts[0]).SendMulticast(1, 800)
+	tb.run(t)
+	for _, m := range hosts {
+		if len(tb.deliveries[m]) != 1 {
+			t.Fatalf("member %d deliveries %v", m, tb.deliveries[m])
+		}
+	}
+	if tb.sys.Stats().DMASpillBytes == 0 {
+		t.Fatal("no DMA spill recorded")
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestCutThroughFasterThanStoreAndForward(t *testing.T) {
+	// A 5-member circuit chain: cut-through should complete the multicast
+	// strictly earlier than store-and-forward at light load.
+	lastDelivery := func(cut bool) des.Time {
+		g := topology.Line(5, 1)
+		tb := newTestbed(t, g, Config{Mode: ModeCircuit, CutThrough: cut})
+		hosts := g.Hosts()
+		grp, _ := multicast.NewGroup(1, hosts)
+		tb.sys.AddGroup(grp)
+		tb.sys.Adapter(hosts[0]).SendMulticast(1, 2000)
+		tb.k.Run(0)
+		var last des.Time
+		for _, ts := range tb.times {
+			for _, at := range ts {
+				if at > last {
+					last = at
+				}
+			}
+		}
+		if tb.sys.Stats().Deliveries != 5 {
+			panic("incomplete multicast")
+		}
+		if cut && tb.sys.Stats().CutThroughFwds == 0 {
+			panic("cut-through never engaged")
+		}
+		if !cut && tb.sys.Stats().CutThroughFwds != 0 {
+			panic("cut-through engaged while disabled")
+		}
+		return last
+	}
+	ct := lastDelivery(true)
+	sf := lastDelivery(false)
+	if ct >= sf {
+		t.Fatalf("cut-through lap (%d) not faster than store-and-forward (%d)", ct, sf)
+	}
+	// Store-and-forward pays ~full worm time per hop; cut-through should
+	// cut the lap roughly in proportion to the chain length.
+	if sf-ct < 2000 {
+		t.Fatalf("cut-through advantage only %d byte-times", sf-ct)
+	}
+}
+
+func TestTwoBufferClassesPreventDeadlock(t *testing.T) {
+	// Figure 6: two crossing multicasts with buffers sized for exactly one
+	// worm.  With two classes both complete; the SingleClass ablation
+	// livelocks into give-ups (TestSingleClassAblationLivelocks).
+	g := topology.Line(2, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ClassBytes: 400, AckTimeoutBase: 1024})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts)
+	tb.sys.Adapter(hosts[0]).SendMulticast(1, 400)
+	tb.sys.Adapter(hosts[1]).SendMulticast(1, 400)
+	tb.run(t)
+	if tb.sys.Stats().GiveUps != 0 {
+		t.Fatalf("two-class config gave up: %+v", tb.sys.Stats())
+	}
+	for _, h := range hosts {
+		if len(tb.deliveries[h]) != 2 {
+			t.Fatalf("host %d deliveries %v", h, tb.deliveries[h])
+		}
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestSingleClassAblationLivelocks(t *testing.T) {
+	// Negative control: same crossing-multicast scenario with the class
+	// rule disabled.  Each host's only buffer is pinned by its own
+	// origination, so the opposing worm is NACKed until its sender gives
+	// up — the buffer deadlock of Figure 6 made observable.
+	g := topology.Line(2, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ClassBytes: 400,
+		AckTimeoutBase: 1024, MaxRetries: 5, SingleClass: true})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts)
+	tb.sys.Adapter(hosts[0]).SendMulticast(1, 400)
+	tb.sys.Adapter(hosts[1]).SendMulticast(1, 400)
+	tb.run(t)
+	st := tb.sys.Stats()
+	if st.GiveUps == 0 {
+		t.Fatalf("single-class ablation did not livelock: %+v", st)
+	}
+	if st.Nacks == 0 {
+		t.Fatalf("expected NACK storm: %+v", st)
+	}
+}
+
+func TestUnicastTraffic(t *testing.T) {
+	g := topology.Star(3)
+	tb := newTestbed(t, g, Config{})
+	hosts := g.Hosts()
+	a := tb.sys.Adapter(hosts[0])
+	if err := a.SendUnicast(hosts[1], 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendUnicast(hosts[0], 10); err == nil {
+		t.Fatal("unicast to self accepted")
+	}
+	if err := a.SendUnicast(g.Switches()[0], 10); err == nil {
+		t.Fatal("unicast to switch accepted")
+	}
+	tb.run(t)
+	if tb.unicasts != 1 || len(tb.deliveries[hosts[1]]) != 1 {
+		t.Fatalf("unicast deliveries: %d", tb.unicasts)
+	}
+	if tb.sys.Stats().UnicastsSent != 1 {
+		t.Fatalf("stats %+v", tb.sys.Stats())
+	}
+}
+
+func TestOriginateQueueWaitsForBuffers(t *testing.T) {
+	// Originating three worms with a one-worm buffer: the extra two queue
+	// and go out as buffers release.
+	g := topology.Star(4)
+	tb := newTestbed(t, g, Config{Mode: ModeCircuit, ClassBytes: 400})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts)
+	a := tb.sys.Adapter(hosts[1])
+	for i := 0; i < 3; i++ {
+		if _, err := a.SendMulticast(1, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.run(t)
+	for _, h := range hosts {
+		if len(tb.deliveries[h]) != 3 {
+			t.Fatalf("host %d got %d deliveries", h, len(tb.deliveries[h]))
+		}
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestMultipleGroupsIndependent(t *testing.T) {
+	g := topology.Torus(3, 3, 1, 1)
+	tb := newTestbed(t, g, Config{Mode: ModeTreeRooted})
+	hosts := g.Hosts()
+	tb.addGroup(t, 1, hosts[:4])
+	tb.addGroup(t, 2, hosts[4:8])
+	x1, _ := tb.sys.Adapter(hosts[1]).SendMulticast(1, 200)
+	x2, _ := tb.sys.Adapter(hosts[5]).SendMulticast(2, 200)
+	tb.run(t)
+	for _, m := range hosts[:4] {
+		if got := tb.deliveries[m]; len(got) != 1 || got[0] != x1.ID {
+			t.Fatalf("group1 member %d: %v", m, got)
+		}
+	}
+	for _, m := range hosts[4:8] {
+		if got := tb.deliveries[m]; len(got) != 1 || got[0] != x2.ID {
+			t.Fatalf("group2 member %d: %v", m, got)
+		}
+	}
+	if _, err := tb.sys.AddGroup(tb.sys.Group(1).Group); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	tb.checkQuiescent(t)
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeCircuit.String() != "hamiltonian-circuit" ||
+		ModeTreeRooted.String() != "rooted-tree" ||
+		ModeTreeFlood.String() != "tree-flood" {
+		t.Fatal("mode strings")
+	}
+}
+
+func BenchmarkCircuitMulticast10(b *testing.B) {
+	g := topology.Torus(4, 4, 1, 1)
+	k := des.NewKernel()
+	ud, _ := updown.New(g, topology.None)
+	tbl, _ := ud.NewTable(false)
+	f, _ := network.New(k, g, ud, network.Config{})
+	sys := NewSystem(k, f, tbl, Config{Mode: ModeCircuit}, 7)
+	hosts := g.Hosts()
+	grp, _ := multicast.NewGroup(1, hosts[:10])
+	sys.AddGroup(grp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Adapter(hosts[2]).SendMulticast(1, 400)
+		k.Run(0)
+	}
+}

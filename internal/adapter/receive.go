@@ -1,0 +1,250 @@
+package adapter
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/network"
+	"wormlan/internal/topology"
+)
+
+// hop is one forwarding decision: send the transfer to dst with the given
+// per-hop header.
+type hop struct {
+	dst  topology.NodeID
+	info *mcInfo
+}
+
+// onHeadArrival makes the buffer-reservation decision of Figure 5 at the
+// moment a worm's head reaches a host interface: the header carries the
+// worm's size, so the adapter can accept (reserve, optionally start a
+// cut-through forward) or decide to drop-and-NACK before the body lands.
+func (s *System) onHeadArrival(w *flit.Worm, host topology.NodeID, at des.Time) {
+	info, ok := w.Meta.(*mcInfo)
+	if !ok {
+		return // unicast traffic and control worms bypass the pools
+	}
+	a := s.adapters[host]
+	t := info.Transfer
+
+	if a.isReturnConfirmation(info) {
+		a.arriving[w] = &arrival{} // neither accepted nor NACKed: confirmation
+		return
+	}
+	var arr *arrival
+	if s.Cfg.PlainForwarding {
+		arr = &arrival{accepted: true}
+	} else {
+		if a.seen[t.ID] {
+			a.arriving[w] = &arrival{duplicate: true}
+			return
+		}
+		res, ok := reserve(a.class[info.Class], a.dma, t.Payload)
+		if !ok {
+			a.arriving[w] = &arrival{} // will be dropped and NACKed on arrival
+			return
+		}
+		s.stats.DMASpillBytes += int64(res.Spilled())
+		arr = &arrival{accepted: true, res: res}
+	}
+	a.arriving[w] = arr
+
+	// Cut-through: if the interface is free right now, begin retransmitting
+	// to the successor(s) immediately, paced against this worm's reception.
+	// Only the first forward can cut through; the interface serializes the
+	// rest behind it, by which time reception has completed (Section 6).
+	if s.Cfg.CutThrough && !s.F.Busy(host) {
+		hops := a.nextHops(info)
+		if len(hops) > 0 {
+			if !s.Cfg.PlainForwarding {
+				a.markSeen(t.ID)
+				a.held[t.ID] = &holding{res: arr.res, forwards: len(hops)}
+			}
+			for i, hp := range hops {
+				var pace *flit.Worm
+				if i == 0 {
+					pace = w
+				}
+				a.transmit(hp.info, hp.dst, pace)
+			}
+			arr.forwarded = true
+			s.stats.CutThroughFwds++
+		}
+	}
+}
+
+// onDeliver dispatches completed worms: application unicasts, ACK/NACK
+// control worms, and multicast data worms.
+func (s *System) onDeliver(d network.Delivery) {
+	a := s.adapters[d.Host]
+	switch meta := d.Worm.Meta.(type) {
+	case nil:
+		if s.OnAppDeliver != nil {
+			s.OnAppDeliver(AppDelivery{Host: d.Host, At: d.At, Worm: d.Worm})
+		}
+	case *ctrlInfo:
+		if meta.Nack {
+			a.onNack(meta.Transfer, meta.From)
+		} else {
+			a.onAckWorm(meta)
+		}
+	case *mcInfo:
+		a.onDataWorm(d.Worm, meta, d.At)
+	default:
+		panic(fmt.Sprintf("adapter: unknown worm meta %T", meta))
+	}
+}
+
+func (a *Adapter) onAckWorm(ci *ctrlInfo) {
+	key := hopKey{ci.Transfer.ID, ci.From}
+	o := a.outstanding[key]
+	if o == nil {
+		return // duplicate ACK after a retransmission; already settled
+	}
+	if o.timer != nil {
+		a.sys.K.Cancel(o.timer)
+	}
+	delete(a.outstanding, key)
+	a.hopFinished(ci.Transfer)
+}
+
+// isReturnConfirmation reports whether an arriving data worm is the
+// return-to-sender lap completion of Section 5 rather than a delivery.
+func (a *Adapter) isReturnConfirmation(info *mcInfo) bool {
+	return a.sys.Cfg.Mode == ModeCircuit &&
+		!a.sys.Cfg.TotalOrdering &&
+		a.sys.Cfg.ReturnToSender &&
+		!info.ToStarter &&
+		info.Transfer.Origin == a.Host
+}
+
+func (a *Adapter) onDataWorm(w *flit.Worm, info *mcInfo, at des.Time) {
+	arr := a.arriving[w]
+	if arr == nil {
+		panic(fmt.Sprintf("adapter: host %d: data worm %d delivered without head arrival", a.Host, w.ID))
+	}
+	delete(a.arriving, w)
+	t := info.Transfer
+
+	switch {
+	case a.isReturnConfirmation(info):
+		a.sys.stats.Confirmations++
+		if !a.sys.Cfg.PlainForwarding {
+			a.sendCtrl(info.From, t, false)
+		}
+	case arr.duplicate:
+		a.sys.stats.Duplicates++
+		a.sendCtrl(info.From, t, false) // re-ACK so the sender stops retrying
+	case !arr.accepted:
+		a.sys.stats.Nacks++
+		a.sendCtrl(info.From, t, true)
+	default:
+		plain := a.sys.Cfg.PlainForwarding
+		if !plain {
+			a.sendCtrl(info.From, t, false)
+		}
+		a.deliverLocal(t)
+		if arr.forwarded {
+			return // cut-through already queued the forwards at head arrival
+		}
+		hops := a.nextHops(info)
+		if plain {
+			if len(hops) > 0 {
+				a.sys.stats.StoreForwardFwd++
+				for _, hp := range hops {
+					a.transmit(hp.info, hp.dst, nil)
+				}
+			}
+			return
+		}
+		a.markSeen(t.ID)
+		if len(hops) == 0 {
+			arr.res.release()
+			a.kickOriginateQ()
+			return
+		}
+		a.sys.stats.StoreForwardFwd++
+		h := &holding{res: arr.res, forwards: len(hops)}
+		a.held[t.ID] = h
+		for _, hp := range hops {
+			a.transmit(hp.info, hp.dst, nil)
+		}
+	}
+}
+
+// sendCtrl emits an ACK (nack=false) or NACK control worm back to the
+// sending adapter.
+func (a *Adapter) sendCtrl(dst topology.NodeID, t *Transfer, nack bool) {
+	a.sys.sendWorm(a.Host, dst, a.sys.Cfg.CtrlPayload,
+		&ctrlInfo{Transfer: t, Nack: nack, From: a.Host}, nil)
+}
+
+// nextHops computes where a received (or starter-re-originated) transfer
+// goes next, with the per-hop buffer class per the lower-to-higher-ID rule
+// and the circuit's sticky reversal (Figure 7).
+func (a *Adapter) nextHops(info *mcInfo) []hop {
+	st := a.sys.groups[info.Transfer.Group]
+	if st == nil {
+		panic(fmt.Sprintf("adapter: transfer for unknown group %d", info.Transfer.Group))
+	}
+	switch a.sys.Cfg.Mode {
+	case ModeCircuit:
+		if info.ToStarter {
+			// The serializer starts the circuit lap (Section 5's total
+			// ordering: "the lowest ID host serializes all transmissions").
+			succ, err := st.Circuit.Successor(a.Host)
+			if err != nil {
+				panic(err)
+			}
+			return []hop{{succ, &mcInfo{
+				Transfer: info.Transfer,
+				Class:    a.sys.classFor(a.Host, succ, false),
+				HopsLeft: a.initialHops(st),
+				From:     a.Host,
+			}}}
+		}
+		if info.HopsLeft <= 1 {
+			return nil
+		}
+		succ, err := st.Circuit.Successor(a.Host)
+		if err != nil {
+			panic(err)
+		}
+		reversed := info.Class == 1
+		return []hop{{succ, &mcInfo{
+			Transfer: info.Transfer,
+			Class:    a.sys.classFor(a.Host, succ, reversed),
+			HopsLeft: info.HopsLeft - 1,
+			From:     a.Host,
+		}}}
+	case ModeTreeRooted:
+		// At the root this starts the descent; elsewhere it continues it.
+		// Children always have higher IDs, so descent stays in class 0.
+		var hops []hop
+		for _, c := range st.Tree.Children(a.Host) {
+			hops = append(hops, hop{c, &mcInfo{
+				Transfer: info.Transfer,
+				Class:    a.sys.classFor(a.Host, c, false),
+				From:     a.Host,
+			}})
+		}
+		return hops
+	case ModeTreeFlood:
+		// Forward to all tree neighbours except the arrival one: class 1
+		// climbing (toward the lower-ID parent), class 0 descending.
+		var hops []hop
+		for _, n := range st.Tree.Neighbours(a.Host) {
+			if n == info.From {
+				continue
+			}
+			hops = append(hops, hop{n, &mcInfo{
+				Transfer: info.Transfer,
+				Class:    a.sys.classFor(a.Host, n, false),
+				From:     a.Host,
+			}})
+		}
+		return hops
+	}
+	panic("adapter: unknown mode")
+}

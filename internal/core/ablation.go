@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/rng"
+	"wormlan/internal/sim"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// BufferClassResult compares the two-buffer-class rule (Figure 7) against
+// the single-class negative control under crossing multicasts with
+// one-worm buffers.
+type BufferClassResult struct {
+	SingleClass bool
+	Delivered   int64
+	GiveUps     int64
+	Nacks       int64
+	Retransmits int64
+}
+
+// AblationBufferClasses runs the Figure 6 scenario at system scale: every
+// member of a group originates simultaneously with buffers sized for
+// exactly one worm.  With two classes everything completes; with one class
+// the crossing reservations livelock into NACK storms and give-ups.
+func AblationBufferClasses(seed uint64) ([2]BufferClassResult, error) {
+	var out [2]BufferClassResult
+	for i, single := range []bool{false, true} {
+		g := topology.Star(6)
+		k := des.NewKernel()
+		ud, err := updown.New(g, topology.None)
+		if err != nil {
+			return out, err
+		}
+		tbl, err := ud.NewTable(false)
+		if err != nil {
+			return out, err
+		}
+		fab, err := network.New(k, g, ud, network.Config{})
+		if err != nil {
+			return out, err
+		}
+		sys := adapter.NewSystem(k, fab, tbl, adapter.Config{
+			Mode:        adapter.ModeCircuit,
+			ClassBytes:  400,
+			NackBackoff: 1024,
+			MaxRetries:  8,
+			SingleClass: single,
+		}, seed)
+		var delivered int64
+		sys.OnAppDeliver = func(adapter.AppDelivery) { delivered++ }
+		hosts := g.Hosts()
+		grp, err := multicast.NewGroup(1, hosts)
+		if err != nil {
+			return out, err
+		}
+		if _, err := sys.AddGroup(grp); err != nil {
+			return out, err
+		}
+		for _, h := range hosts {
+			if _, err := sys.Adapter(h).SendMulticast(1, 400); err != nil {
+				return out, err
+			}
+		}
+		if err := k.Run(0); err != nil {
+			return out, err
+		}
+		st := sys.Stats()
+		out[i] = BufferClassResult{
+			SingleClass: single,
+			Delivered:   delivered,
+			GiveUps:     st.GiveUps,
+			Nacks:       st.Nacks,
+			Retransmits: st.Retransmits,
+		}
+	}
+	return out, nil
+}
+
+// PrintBufferClasses renders the ablation.
+func PrintBufferClasses(w io.Writer, r [2]BufferClassResult) {
+	fmt.Fprintln(w, "Ablation: two buffer classes vs single class (Figure 6/7)")
+	for _, row := range r {
+		name := "two-class"
+		if row.SingleClass {
+			name = "single-class"
+		}
+		fmt.Fprintf(w, "  %-12s delivered=%d giveups=%d nacks=%d retransmits=%d\n",
+			name, row.Delivered, row.GiveUps, row.Nacks, row.Retransmits)
+	}
+}
+
+// OrderingResult compares circuit multicast with and without total
+// ordering through the lowest-ID serializer (Section 5).
+type OrderingResult struct {
+	Ordered   bool
+	MCLatency float64
+}
+
+// AblationOrdering measures the latency cost of total ordering on the 8x8
+// torus at a moderate load.
+func AblationOrdering(seed uint64) ([2]OrderingResult, error) {
+	var out [2]OrderingResult
+	for i, ordered := range []bool{false, true} {
+		r, err := sim.Run(sim.Config{
+			Graph:         topology.Torus(8, 8, 1, 1),
+			Scheme:        sim.HamiltonianSF,
+			TotalOrdering: ordered,
+			OfferedLoad:   0.02,
+			MulticastProb: 0.1,
+			NumGroups:     10,
+			GroupSize:     10,
+			Warmup:        40_000,
+			Measure:       200_000,
+			Seed:          seed,
+			Adapter:       adapter.Config{PlainForwarding: true},
+		})
+		if err != nil {
+			return out, err
+		}
+		out[i] = OrderingResult{Ordered: ordered, MCLatency: r.MCLatency.Mean()}
+	}
+	return out, nil
+}
+
+// PrintOrdering renders the ablation.
+func PrintOrdering(w io.Writer, r [2]OrderingResult) {
+	fmt.Fprintln(w, "Ablation: total-ordering cost (circuit via lowest-ID serializer)")
+	for _, row := range r {
+		name := "unordered"
+		if row.Ordered {
+			name = "ordered"
+		}
+		fmt.Fprintf(w, "  %-10s mcLatency=%.0f\n", name, row.MCLatency)
+	}
+}
+
+// TreeBuildResult compares the topology-aware greedy tree against the
+// ID-heap tree (the Figure 8 metric at work).
+type TreeBuildResult struct {
+	Builder  string
+	WireHops int
+	Depth    int
+}
+
+// AblationTreeConstruction quantifies why tree edges must be chosen over
+// the host-connectivity hop metric: total wire cost of greedy vs heap
+// layout for random groups on the torus.
+func AblationTreeConstruction(seed uint64) ([2]TreeBuildResult, error) {
+	g := topology.Torus(8, 8, 1, 1)
+	hosts := g.Hosts()
+	r := rng.New(seed, 99)
+	perm := r.Perm(len(hosts))
+	var members []topology.NodeID
+	for _, p := range perm[:10] {
+		members = append(members, hosts[p])
+	}
+	grp, err := multicast.NewGroup(1, members)
+	if err != nil {
+		return [2]TreeBuildResult{}, err
+	}
+	heap, err := multicast.NewTreeByID(grp, 2)
+	if err != nil {
+		return [2]TreeBuildResult{}, err
+	}
+	greedy, err := multicast.NewTreeGreedy(g, grp, 2)
+	if err != nil {
+		return [2]TreeBuildResult{}, err
+	}
+	return [2]TreeBuildResult{
+		{Builder: "id-heap", WireHops: heap.WireHops(g), Depth: heap.Depth()},
+		{Builder: "greedy", WireHops: greedy.WireHops(g), Depth: greedy.Depth()},
+	}, nil
+}
+
+// PrintTreeConstruction renders the ablation.
+func PrintTreeConstruction(w io.Writer, r [2]TreeBuildResult) {
+	fmt.Fprintln(w, "Ablation: tree construction (Figure 8 hop metric)")
+	for _, row := range r {
+		fmt.Fprintf(w, "  %-8s wireHops=%d depth=%d\n", row.Builder, row.WireHops, row.Depth)
+	}
+}
+
+// FabricVsAdapterResult compares switch-level multicast (Section 3) with
+// host-adapter multicast (Sections 4-6) under identical workloads.
+type FabricVsAdapterResult struct {
+	Scheme    string
+	MCLatency float64
+	UniLat    float64
+}
+
+// AblationFabricVsAdapter runs the paper's central design comparison: the
+// switch fabric gives the lowest multicast latency but taxes unicast
+// traffic with tree-restricted routing; the adapter schemes leave unicast
+// free and pay per-hop reassembly on multicast.
+func AblationFabricVsAdapter(seed uint64) ([3]FabricVsAdapterResult, error) {
+	var out [3]FabricVsAdapterResult
+	for i, scheme := range []sim.Scheme{sim.SwitchFabric, sim.TreeSF, sim.HamiltonianSF} {
+		r, err := sim.Run(sim.Config{
+			Graph:         topology.Torus(8, 8, 1, 1),
+			Scheme:        scheme,
+			OfferedLoad:   0.02,
+			MulticastProb: 0.1,
+			NumGroups:     10,
+			GroupSize:     10,
+			Warmup:        40_000,
+			Measure:       200_000,
+			Seed:          seed,
+			Adapter:       adapter.Config{PlainForwarding: true},
+		})
+		if err != nil {
+			return out, err
+		}
+		out[i] = FabricVsAdapterResult{
+			Scheme:    scheme.Name,
+			MCLatency: r.MCLatency.Mean(),
+			UniLat:    r.UniLatency.Mean(),
+		}
+	}
+	return out, nil
+}
+
+// PrintFabricVsAdapter renders the comparison.
+func PrintFabricVsAdapter(w io.Writer, r [3]FabricVsAdapterResult) {
+	fmt.Fprintln(w, "Ablation: switch-fabric vs host-adapter multicast")
+	for _, row := range r {
+		fmt.Fprintf(w, "  %-22s mcLatency=%8.0f uniLatency=%8.0f\n",
+			row.Scheme, row.MCLatency, row.UniLat)
+	}
+}
+
+// RoutingResult compares unrestricted up/down routing with the
+// tree-restricted discipline required by switch-level multicast scheme A
+// (Section 3).
+type RoutingResult struct {
+	Restricted bool
+	MeanHops   float64
+}
+
+// AblationRouting measures the path-length cost of restricting all worms
+// to the up/down spanning tree on a topology with crosslinks.
+func AblationRouting() ([2]RoutingResult, error) {
+	g := topology.Torus(8, 8, 1, 1)
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		return [2]RoutingResult{}, err
+	}
+	free, err := ud.NewTable(false)
+	if err != nil {
+		return [2]RoutingResult{}, err
+	}
+	restricted, err := ud.NewTable(true)
+	if err != nil {
+		return [2]RoutingResult{}, err
+	}
+	return [2]RoutingResult{
+		{Restricted: false, MeanHops: free.MeanHops()},
+		{Restricted: true, MeanHops: restricted.MeanHops()},
+	}, nil
+}
+
+// PrintRouting renders the ablation.
+func PrintRouting(w io.Writer, r [2]RoutingResult) {
+	fmt.Fprintln(w, "Ablation: up/down routing vs spanning-tree-restricted routing")
+	for _, row := range r {
+		name := "up/down"
+		if row.Restricted {
+			name = "tree-only"
+		}
+		fmt.Fprintf(w, "  %-10s meanHops=%.2f\n", name, row.MeanHops)
+	}
+}

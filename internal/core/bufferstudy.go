@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/topology"
+	"wormlan/internal/traffic"
+	"wormlan/internal/updown"
+)
+
+// BufferStudyRow is one load point of the buffer-contention study — the
+// investigation the paper leaves as work in progress in Section 9
+// ("evaluating (via simulation) the actual contention for buffers (and the
+// probability of deadlocks) in various load and traffic pattern
+// conditions").
+type BufferStudyRow struct {
+	Load float64
+
+	// PeakClass1/PeakClass2 are the highest buffer occupancies observed
+	// in any adapter's two classes, in bytes.
+	PeakClass1, PeakClass2 int
+	// NackRate is NACKs per multicast data-worm hop: the probability that
+	// the optimistic reservation of Figure 5 fails and the worm must be
+	// retried.
+	NackRate float64
+	// Deliveries and GiveUps summarize the outcome (give-ups stay zero
+	// while the protocol is healthy).
+	Deliveries, GiveUps int64
+}
+
+// BufferOccupancyStudy sweeps offered load under the full reliable
+// protocol (ACK/NACK reservation, two buffer classes, LANai-sized pools)
+// and reports buffer contention.  The paper's conjecture — that when NACK
+// probability is low a cheaper, less reliable multicast might be
+// preferable — becomes measurable here.
+func BufferOccupancyStudy(seed uint64, loads []float64) ([]BufferStudyRow, error) {
+	var rows []BufferStudyRow
+	for _, load := range loads {
+		g := topology.Torus(4, 4, 1, 1)
+		k := des.NewKernel()
+		ud, err := updown.New(g, topology.None)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := ud.NewTable(false)
+		if err != nil {
+			return nil, err
+		}
+		fab, err := network.New(k, g, ud, network.Config{})
+		if err != nil {
+			return nil, err
+		}
+		sys := adapter.NewSystem(k, fab, tbl, adapter.Config{
+			Mode: adapter.ModeCircuit,
+		}, seed)
+		hosts := g.Hosts()
+		memberSets, groupsOf, err := traffic.AssignGroups(hosts, 4, 6, seed)
+		if err != nil {
+			return nil, err
+		}
+		for gi, set := range memberSets {
+			grp, err := multicast.NewGroup(gi, set)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys.AddGroup(grp); err != nil {
+				return nil, err
+			}
+		}
+		gen, err := traffic.New(k, traffic.Config{
+			OfferedLoad:   load,
+			MeanWorm:      400,
+			MulticastProb: 0.15,
+			Until:         200_000,
+		}, hosts, groupsOf, sys, seed)
+		if err != nil {
+			return nil, err
+		}
+		gen.Start()
+		if err := k.Run(800_000); err != nil {
+			return nil, err
+		}
+		row := BufferStudyRow{Load: load}
+		for _, h := range hosts {
+			c1, c2, _ := sys.Adapter(h).Pools()
+			if c1.Peak > row.PeakClass1 {
+				row.PeakClass1 = c1.Peak
+			}
+			if c2.Peak > row.PeakClass2 {
+				row.PeakClass2 = c2.Peak
+			}
+		}
+		st := sys.Stats()
+		row.Deliveries = st.Deliveries
+		row.GiveUps = st.GiveUps
+		// Hops attempted ~= deliveries minus origins' local copies plus
+		// retransmissions; NACKs per attempted hop is the paper's failure
+		// probability.
+		hops := st.Deliveries - st.MulticastsSent + st.Retransmits
+		if hops > 0 {
+			row.NackRate = float64(st.Nacks) / float64(hops)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintBufferStudy renders the study.
+func PrintBufferStudy(w io.Writer, rows []BufferStudyRow) {
+	fmt.Fprintln(w, "Buffer-contention study (Section 9 'work in progress'): reliable")
+	fmt.Fprintln(w, "protocol, LANai-sized pools (12.8 KB per class), 4 groups x 6")
+	fmt.Fprintln(w, "load    peakClass1  peakClass2  nackRate  deliveries  giveups")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5.3f   %9d   %9d   %7.4f  %10d  %7d\n",
+			r.Load, r.PeakClass1, r.PeakClass2, r.NackRate, r.Deliveries, r.GiveUps)
+	}
+}

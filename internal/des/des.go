@@ -1,0 +1,155 @@
+// Package des provides the discrete-event simulation kernel used by the
+// wormhole network simulator.
+//
+// The paper's original simulator was written in Maisie, a C-based
+// discrete-event simulation language, and modelled the network "at the byte
+// level" (Section 7).  This kernel reproduces that abstraction: simulation
+// time advances in byte-times (the time to transfer one byte on a 640 Mb/s
+// Myrinet link, 12.5 ns), and components schedule callbacks on a shared
+// event queue.  Execution is single-threaded and strictly deterministic:
+// events with equal timestamps fire in scheduling order.
+//
+// Components that advance in lock-step with the wire clock (switch ports
+// shifting one byte per byte-time) register Tickers instead of scheduling
+// per-byte events; the kernel coalesces all tickers into a single event per
+// occupied byte-time, which keeps the event queue small even though the
+// model is byte-accurate.
+package des
+
+import (
+	"fmt"
+
+	"wormlan/internal/eventq"
+)
+
+// Time is a simulation timestamp in byte-times.
+type Time = int64
+
+// Ticker is a component that needs to run once per byte-time while active.
+// Tick is called with the current simulation time.  It returns false when
+// the ticker has gone idle and wants to be descheduled; it can re-arm itself
+// later via Kernel.Activate.
+type Ticker interface {
+	Tick(now Time) bool
+}
+
+// Kernel is a deterministic discrete-event simulation kernel.
+type Kernel struct {
+	now    Time
+	queue  eventq.Queue
+	halted bool
+	err    error
+
+	tickers    []Ticker
+	tickerOn   map[Ticker]bool
+	tickSched  bool
+	nextTicker []Ticker // staging to keep tick order stable
+
+	// Trace, if non-nil, receives a line per dispatched event when tracing
+	// is enabled.  It exists for debugging protocol interleavings.
+	Trace func(format string, args ...any)
+}
+
+// NewKernel returns an empty kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{tickerOn: make(map[Ticker]bool)}
+}
+
+// Now returns the current simulation time in byte-times.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run at absolute time t.  Scheduling in the past panics:
+// it is always a model bug.
+func (k *Kernel) At(t Time, fn func()) *eventq.Event {
+	if t < k.now {
+		panic(fmt.Sprintf("des: scheduling at %d before now %d", t, k.now))
+	}
+	return k.queue.Schedule(t, fn)
+}
+
+// After schedules fn to run d byte-times from now.
+func (k *Kernel) After(d Time, fn func()) *eventq.Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %d", d))
+	}
+	return k.queue.Schedule(k.now+d, fn)
+}
+
+// Cancel cancels a previously scheduled event.
+func (k *Kernel) Cancel(e *eventq.Event) { k.queue.Cancel(e) }
+
+// Activate arms a ticker so that its Tick method runs once per byte-time
+// starting at the next byte-time boundary.  Activating an already-active
+// ticker is a no-op.  Tick order among tickers follows first-activation
+// order, which keeps runs reproducible.
+func (k *Kernel) Activate(t Ticker) {
+	if k.tickerOn[t] {
+		return
+	}
+	k.tickerOn[t] = true
+	k.tickers = append(k.tickers, t)
+	k.scheduleTick()
+}
+
+func (k *Kernel) scheduleTick() {
+	if k.tickSched || len(k.tickers) == 0 {
+		return
+	}
+	k.tickSched = true
+	k.queue.Schedule(k.now+1, k.runTick)
+}
+
+func (k *Kernel) runTick() {
+	k.tickSched = false
+	live := k.nextTicker[:0]
+	for _, t := range k.tickers {
+		if !k.tickerOn[t] {
+			continue
+		}
+		if t.Tick(k.now) {
+			live = append(live, t)
+		} else {
+			delete(k.tickerOn, t)
+		}
+	}
+	k.nextTicker = k.tickers[:0]
+	k.tickers = live
+	k.scheduleTick()
+}
+
+// Halt stops the run loop after the current event.  err may be nil for a
+// clean stop (e.g. a stop condition reached).
+func (k *Kernel) Halt(err error) {
+	k.halted = true
+	if k.err == nil {
+		k.err = err
+	}
+}
+
+// Halted reports whether Halt has been called.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// Run dispatches events until the queue drains, Halt is called, or the
+// simulation clock passes deadline (0 means no deadline).  It returns the
+// error passed to Halt, if any.
+func (k *Kernel) Run(deadline Time) error {
+	for !k.halted && k.queue.Len() > 0 {
+		t := k.queue.PeekTime()
+		if deadline > 0 && t > deadline {
+			k.now = deadline
+			break
+		}
+		e := k.queue.Pop()
+		k.now = t
+		if e.Fire != nil {
+			e.Fire()
+		}
+	}
+	if !k.halted && deadline > 0 && k.now < deadline && k.queue.Len() == 0 {
+		k.now = deadline
+	}
+	return k.err
+}
+
+// Pending returns the number of scheduled events (diagnostic).
+func (k *Kernel) Pending() int { return k.queue.Len() }

@@ -1,0 +1,314 @@
+// Package emu emulates the paper's Myrinet prototype (Section 8): the
+// Hamiltonian-circuit multicast implemented entirely in the network
+// interface cards, measured on eight hosts across a four-switch Myrinet.
+//
+// Unlike internal/sim — a deterministic byte-level simulator — this is a
+// concurrent emulation: every host adapter card runs as a goroutine, links
+// are bounded rings, and time is real (wall-clock) time.  That reproduces
+// the *measurement* character of Section 8.2: numbers vary slightly run to
+// run, loss occurs exactly where the prototype lost packets (the card's
+// finite input buffer, "the only place that loss can occur in this
+// scheme"), and throughput is limited by per-packet host/LANai processing
+// rather than the 640 Mb/s wire.
+//
+// What the paper had -> what this package builds:
+//
+//   - The LANai: a single 16-bit CPU that serializes origination DMA,
+//     packet reception, and retransmission -> one firmware goroutine per
+//     card that multiplexes a host send-request channel and the input
+//     ring; every operation occupies the engine for its modelled cost.
+//   - SPARCstation 5 hosts with slow peripheral buses -> reception charges
+//     a host-DMA transfer at half wire speed on top of a fixed per-packet
+//     cost; origination charges the large fixed cost that capped the
+//     prototype near 120 Mb/s at 8 KB packets.
+//   - The LANai's ~25 KB of packet SRAM -> a byte-bounded input ring.
+//     Big packets fit only ~3 deep, so bursts overflow it — which is why
+//     the prototype's Figure 13 loss grows with packet size.
+//   - The four-switch fabric at 640 Mb/s, faster than any host -> links
+//     are direct handoffs; wire time is charged at the sending interface.
+//   - The multicast group manager informing the card of the (group, next
+//     hop, hop count) triple via the device driver -> Card.SetGroup.
+package emu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Packet is one multicast worm on the emulated network.  The header
+// mirrors Section 5: multicast group ID and a hop count decremented at
+// each retransmission.
+type Packet struct {
+	Origin int
+	Group  uint8
+	Hops   int
+	Size   int
+}
+
+// groupEntry is the (next hop, hop length) of the paper's group table.
+type groupEntry struct {
+	next   *Card
+	hopLen int
+}
+
+// Config parameterizes the emulation; zero values take the calibrated
+// defaults (chosen so the single-sender curve tops out near the
+// prototype's ~120 Mb/s at 8 KB packets, see DESIGN.md).
+type Config struct {
+	// Hosts is the number of cards (the paper measured 8).
+	Hosts int
+	// RingBytes is the card's input buffer capacity in bytes (the LANai
+	// has ~25 KB of packet memory).
+	RingBytes int
+	// SendOverhead is the fixed per-packet origination cost (application,
+	// driver, and host-to-LANai DMA setup).
+	SendOverhead time.Duration
+	// ForwardOverhead is the fixed per-packet store-and-forward cost.
+	ForwardOverhead time.Duration
+	// RecvOverhead is the fixed per-packet reception/delivery cost.
+	RecvOverhead time.Duration
+	// WireBytesPerMicro is the link transmission rate charged at the
+	// output (Myrinet: 80 B/us = 640 Mb/s).
+	WireBytesPerMicro float64
+	// DMABytesPerMicro is the LANai-to-host delivery rate charged on
+	// reception (the SPARC peripheral bus, slower than the wire).
+	DMABytesPerMicro float64
+
+	// TimeScale dilates every modelled duration by this factor at
+	// execution time; measured throughput is scaled back so results are
+	// reported in modelled (Myrinet) terms.  Wall-clock sleep granularity
+	// on commodity kernels is ~1 ms, far above the microsecond-scale
+	// constants above; running 50x slowed keeps the granularity error a
+	// few percent.  Default 50.
+	TimeScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hosts == 0 {
+		c.Hosts = 8
+	}
+	if c.RingBytes == 0 {
+		c.RingBytes = 25 * 1024
+	}
+	if c.SendOverhead == 0 {
+		c.SendOverhead = 440 * time.Microsecond
+	}
+	if c.ForwardOverhead == 0 {
+		c.ForwardOverhead = 110 * time.Microsecond
+	}
+	if c.RecvOverhead == 0 {
+		c.RecvOverhead = 60 * time.Microsecond
+	}
+	if c.WireBytesPerMicro == 0 {
+		c.WireBytesPerMicro = 80
+	}
+	if c.DMABytesPerMicro == 0 {
+		c.DMABytesPerMicro = 40
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 50
+	}
+	return c
+}
+
+// scale dilates a modelled duration into wall-clock time.
+func (l *LAN) scale(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * l.Cfg.TimeScale)
+}
+
+// Card is one emulated LANai network interface card.
+type Card struct {
+	ID int
+
+	lan     *LAN
+	in      chan Packet // input ring (byte-bounded via ringBytes)
+	sendReq chan Packet // origination requests from the host application
+	groups  map[uint8]groupEntry
+	mu      sync.RWMutex // guards groups against concurrent SetGroup
+
+	ringBytes atomic.Int64
+
+	// Counters (atomic: read while the emulation runs).
+	rxPackets atomic.Int64 // packets accepted into the input ring
+	rxBytes   atomic.Int64 // payload bytes delivered to the local host
+	drops     atomic.Int64 // packets lost to input-ring overflow
+	txPackets atomic.Int64 // packets transmitted (originated + forwarded)
+}
+
+// LAN is the emulated Myrinet: a set of cards joined into Hamiltonian
+// circuits by their group tables.
+type LAN struct {
+	Cfg   Config
+	Cards []*Card
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds the LAN and starts one firmware goroutine per card.
+func New(cfg Config) *LAN {
+	cfg = cfg.withDefaults()
+	l := &LAN{Cfg: cfg, stop: make(chan struct{})}
+	for i := 0; i < cfg.Hosts; i++ {
+		c := &Card{
+			ID:      i,
+			lan:     l,
+			in:      make(chan Packet, 1024), // count cap is generous; bytes bound for real
+			sendReq: make(chan Packet, 2),
+			groups:  make(map[uint8]groupEntry),
+		}
+		l.Cards = append(l.Cards, c)
+	}
+	for _, c := range l.Cards {
+		l.wg.Add(1)
+		go c.firmware()
+	}
+	return l
+}
+
+// SetupCircuit installs group g as the Hamiltonian circuit over all cards
+// in ID order — what the multicast group manager does via the device
+// driver in Section 8 ("the triple of multicast group, next hop address
+// and hop count").
+func (l *LAN) SetupCircuit(g uint8) {
+	n := len(l.Cards)
+	for i, c := range l.Cards {
+		c.SetGroup(g, l.Cards[(i+1)%n], n-1)
+	}
+}
+
+// SetGroup installs one card's group-table entry.
+func (c *Card) SetGroup(g uint8, next *Card, hopLen int) {
+	c.mu.Lock()
+	c.groups[g] = groupEntry{next: next, hopLen: hopLen}
+	c.mu.Unlock()
+}
+
+func (c *Card) lookup(g uint8) (groupEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.groups[g]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// wireTime is the output-serialization cost of size bytes.
+func (l *LAN) wireTime(size int) time.Duration {
+	return time.Duration(float64(size) / l.Cfg.WireBytesPerMicro * float64(time.Microsecond))
+}
+
+// dmaTime is the LANai-to-host delivery cost of size bytes.
+func (l *LAN) dmaTime(size int) time.Duration {
+	return time.Duration(float64(size) / l.Cfg.DMABytesPerMicro * float64(time.Microsecond))
+}
+
+// push attempts to place a packet in a card's input ring, dropping it when
+// the ring's byte budget is exhausted (the prototype's only loss point).
+func (c *Card) push(p Packet) {
+	for {
+		cur := c.ringBytes.Load()
+		if cur+int64(p.Size) > int64(c.lan.Cfg.RingBytes) {
+			c.drops.Add(1)
+			return
+		}
+		if c.ringBytes.CompareAndSwap(cur, cur+int64(p.Size)) {
+			break
+		}
+	}
+	c.in <- p // count capacity is far above any byte-feasible depth
+}
+
+// firmware is the card's single processing engine: it multiplexes host
+// origination requests and inbound packets, charging each operation its
+// modelled time.  Myrinet cards cannot cut through, so forwarding happens
+// only after full reception (Section 8: "worms are stored and forwarded at
+// each host").
+func (c *Card) firmware() {
+	defer c.lan.wg.Done()
+	cfg := &c.lan.Cfg
+	for {
+		select {
+		case <-c.lan.stop:
+			return
+		case p := <-c.sendReq:
+			// Origination: host DMA + header build + wire transmission.
+			time.Sleep(c.lan.scale(cfg.SendOverhead + c.lan.wireTime(p.Size)))
+			c.txPackets.Add(1)
+			if e, ok := c.lookup(p.Group); ok && e.next != nil && p.Hops >= 1 {
+				e.next.push(p)
+			}
+		case p := <-c.in:
+			c.ringBytes.Add(-int64(p.Size))
+			// Reception: copy the worm to the host over the peripheral
+			// bus; if the hop count permits, retransmit to the successor.
+			// The engine time for both is charged as one interval so that
+			// wall-clock sleep overshoot (which affects every sleep once)
+			// biases the sender and forwarder stages equally.
+			busy := cfg.RecvOverhead + c.lan.dmaTime(p.Size)
+			var fwd *Card
+			if p.Hops > 1 {
+				if e, ok := c.lookup(p.Group); ok && e.next != nil {
+					fwd = e.next
+					busy += cfg.ForwardOverhead + c.lan.wireTime(p.Size)
+				}
+			}
+			time.Sleep(c.lan.scale(busy))
+			c.rxPackets.Add(1)
+			c.rxBytes.Add(int64(p.Size))
+			if fwd != nil {
+				p.Hops--
+				c.txPackets.Add(1)
+				fwd.push(p)
+			}
+		}
+	}
+}
+
+// Originate asks the card to send one multicast packet of the given size
+// on group g, blocking until the card's request queue has room (the
+// application-space interface of Section 8.2 blasting "as many packets as
+// possible").  It reports an error for an unknown group.
+func (c *Card) Originate(g uint8, size int) error {
+	e, ok := c.lookup(g)
+	if !ok {
+		return fmt.Errorf("emu: card %d has no entry for group %d", c.ID, g)
+	}
+	p := Packet{Origin: c.ID, Group: g, Hops: e.hopLen, Size: size}
+	select {
+	case c.sendReq <- p:
+		return nil
+	case <-c.lan.stop:
+		return fmt.Errorf("emu: LAN closed")
+	}
+}
+
+// Close stops all card goroutines and waits for them to exit.
+func (l *LAN) Close() {
+	close(l.stop)
+	l.wg.Wait()
+}
+
+// CardStats is a snapshot of one card's counters.
+type CardStats struct {
+	ID        int
+	RxPackets int64
+	RxBytes   int64
+	Drops     int64
+	TxPackets int64
+}
+
+// Stats snapshots every card.
+func (l *LAN) Stats() []CardStats {
+	out := make([]CardStats, len(l.Cards))
+	for i, c := range l.Cards {
+		out[i] = CardStats{
+			ID:        c.ID,
+			RxPackets: c.rxPackets.Load(),
+			RxBytes:   c.rxBytes.Load(),
+			Drops:     c.drops.Load(),
+			TxPackets: c.txPackets.Load(),
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package emu
+
+import (
+	"testing"
+	"time"
+)
+
+// cfg8 is the calibrated 8-host configuration at a reduced time dilation
+// (10x instead of the default 50x) so tests finish quickly; stage ratios —
+// and therefore the measured shapes — are preserved.
+func cfg8() Config {
+	return Config{Hosts: 8, TimeScale: 10}
+}
+
+func TestCircuitDeliversToAllOthers(t *testing.T) {
+	l := New(cfg8())
+	defer l.Close()
+	l.SetupCircuit(1)
+	if err := l.Cards[3].Originate(1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	st := l.Stats()
+	for _, cs := range st {
+		want := int64(1)
+		if cs.ID == 3 {
+			want = 0 // the circuit stops at the originator's predecessor
+		}
+		if cs.RxPackets != want {
+			t.Fatalf("card %d received %d packets, want %d", cs.ID, cs.RxPackets, want)
+		}
+		if cs.Drops != 0 {
+			t.Fatalf("card %d dropped %d", cs.ID, cs.Drops)
+		}
+	}
+}
+
+func TestUnknownGroupErrors(t *testing.T) {
+	l := New(cfg8())
+	defer l.Close()
+	if err := l.Cards[0].Originate(9, 100); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestSetGroupCustomChain(t *testing.T) {
+	l := New(cfg8())
+	defer l.Close()
+	// Chain 0 -> 2 -> 4 only.
+	l.Cards[0].SetGroup(7, l.Cards[2], 2)
+	l.Cards[2].SetGroup(7, l.Cards[4], 2)
+	l.Cards[4].SetGroup(7, nil, 0)
+	if err := l.Cards[0].Originate(7, 500); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := l.Stats()
+	if st[2].RxPackets != 1 || st[4].RxPackets != 1 {
+		t.Fatalf("chain deliveries: %+v", st)
+	}
+	for _, cs := range st {
+		if cs.ID != 2 && cs.ID != 4 && cs.RxPackets != 0 {
+			t.Fatalf("unexpected delivery at card %d", cs.ID)
+		}
+	}
+}
+
+func TestSingleSenderNoLoss(t *testing.T) {
+	// "In the single source case no loss of packets due to input buffer
+	// overflow was observed" — forwarding outpaces origination.
+	p := Measure(cfg8(), 4096, false, 400*time.Millisecond)
+	if p.LossRate != 0 {
+		t.Fatalf("single-sender loss %.2f%%", p.LossRate*100)
+	}
+	if p.ThroughputMbps <= 0 {
+		t.Fatalf("no throughput: %+v", p)
+	}
+}
+
+func TestThroughputGrowsWithPacketSize(t *testing.T) {
+	// Per-packet overhead amortizes: the Figure 12 curves rise with size.
+	small := Measure(cfg8(), 1024, false, 400*time.Millisecond)
+	large := Measure(cfg8(), 8192, false, 400*time.Millisecond)
+	if large.ThroughputMbps <= small.ThroughputMbps {
+		t.Fatalf("throughput did not grow: %v -> %v", small, large)
+	}
+	// The gain should be substantial (the prototype tripled between 1 KB
+	// and 8 KB); allow a wide margin for scheduler noise.
+	if large.ThroughputMbps < 1.5*small.ThroughputMbps {
+		t.Fatalf("gain too small: %v -> %v", small, large)
+	}
+}
+
+func TestAllSendLosesAndDegradesPerHost(t *testing.T) {
+	// "Packet loss was only significant if hosts were originating
+	// multicast packets as well as forwarding."
+	single := Measure(cfg8(), 8192, false, 500*time.Millisecond)
+	all := Measure(cfg8(), 8192, true, 500*time.Millisecond)
+	if all.LossRate == 0 {
+		t.Fatalf("all-send produced no loss: %+v", all)
+	}
+	if all.Dropped == 0 {
+		t.Fatal("no drops counted")
+	}
+	// Per-host goodput in the all-send case sits below the single-sender
+	// curve (Figure 12's dashed line under the solid one).
+	if all.ThroughputMbps >= single.ThroughputMbps {
+		t.Fatalf("all-send per-host throughput %v not below single-sender %v",
+			all.ThroughputMbps, single.ThroughputMbps)
+	}
+}
+
+func TestLossGrowsWithPacketSize(t *testing.T) {
+	// Figure 13: bigger packets fit fewer-deep in the ~25 KB input buffer,
+	// so bursts overflow it more readily.
+	small := Measure(cfg8(), 1024, true, 500*time.Millisecond)
+	large := Measure(cfg8(), 8192, true, 500*time.Millisecond)
+	if large.LossRate <= small.LossRate {
+		t.Fatalf("loss did not grow with size: %.1f%% -> %.1f%%",
+			small.LossRate*100, large.LossRate*100)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts := Sweep(cfg8(), []int{1024, 8192}, false, 300*time.Millisecond)
+	if len(pts) != 2 {
+		t.Fatalf("points %d", len(pts))
+	}
+	if pts[0].PacketSize != 1024 || pts[1].PacketSize != 8192 {
+		t.Fatal("sizes out of order")
+	}
+	if pts[0].String() == "" {
+		t.Fatal("empty row")
+	}
+}
+
+func TestCloseStopsOriginate(t *testing.T) {
+	l := New(cfg8())
+	l.SetupCircuit(1)
+	l.Close()
+	// After close, originate must not hang forever: the firmware is gone,
+	// so once the request queue fills, Originate returns the closed error.
+	deadline := time.After(2 * time.Second)
+	donec := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 10 && err == nil; i++ {
+			err = l.Cards[0].Originate(1, 100)
+		}
+		donec <- err
+	}()
+	select {
+	case err := <-donec:
+		if err == nil {
+			t.Fatal("originate kept succeeding after close")
+		}
+	case <-deadline:
+		t.Fatal("originate hung after close")
+	}
+	if len(l.Stats()) != 8 {
+		t.Fatal("stats after close")
+	}
+}

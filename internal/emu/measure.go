@@ -1,0 +1,112 @@
+package emu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Point is one measured point of Figures 12/13: per-host throughput and
+// per-host input loss at a given packet size.
+type Point struct {
+	PacketSize int
+	AllSend    bool
+
+	// ThroughputMbps is the mean received data rate per receiving host in
+	// Mb/s (the y-axis of Figure 12).  Lost packets are not counted,
+	// matching the paper's accounting.
+	ThroughputMbps float64
+	// LossRate is the mean per-host probability that an incoming packet
+	// found the input ring full (the y-axis of Figure 13).
+	LossRate float64
+
+	// Sent / Received / Dropped are the totals behind the rates.
+	Sent, Received, Dropped int64
+}
+
+// String renders the point as a figure row.
+func (p Point) String() string {
+	mode := "single"
+	if p.AllSend {
+		mode = "all-send"
+	}
+	return fmt.Sprintf("%5d B  %-8s  %7.1f Mb/s  loss %5.1f%%",
+		p.PacketSize, mode, p.ThroughputMbps, p.LossRate*100)
+}
+
+// Measure runs one measurement: a Hamiltonian circuit over cfg.Hosts
+// cards, with either one host or every host blasting packets of the given
+// size for the given duration ("the application simply sent as many
+// packets as possible out to the network", Section 8.2).
+// The duration is wall-clock run time; with the default TimeScale of 50, a
+// one-second run covers 20 ms of modelled Myrinet time (enough for tens of
+// packets per sender at 8 KB).
+func Measure(cfg Config, size int, allSend bool, duration time.Duration) Point {
+	l := New(cfg)
+	defer l.Close()
+	const group = 1
+	l.SetupCircuit(group)
+
+	senders := l.Cards[:1]
+	if allSend {
+		senders = l.Cards
+	}
+	stop := make(chan struct{})
+	done := make(chan int64, len(senders))
+	for _, c := range senders {
+		c := c
+		go func() {
+			var sent int64
+			defer func() { done <- sent }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if c.Originate(group, size) != nil {
+						return // LAN closed under us
+					}
+					sent++
+				}
+			}
+		}()
+	}
+	time.Sleep(duration)
+	close(stop)
+	var sent int64
+	for range senders {
+		sent += <-done
+	}
+	// Let the circuit drain so in-flight packets reach their counters.
+	time.Sleep(50 * time.Millisecond)
+
+	var rxBytes, rxPkts, drops int64
+	receivers := 0
+	for _, cs := range l.Stats() {
+		rxBytes += cs.RxBytes
+		rxPkts += cs.RxPackets
+		drops += cs.Drops
+		if cs.RxPackets > 0 || cs.Drops > 0 {
+			receivers++
+		}
+	}
+	p := Point{PacketSize: size, AllSend: allSend, Sent: sent, Received: rxPkts, Dropped: drops}
+	if receivers > 0 {
+		perHostBytesPerSec := float64(rxBytes) / float64(receivers) / duration.Seconds()
+		// Scale back from dilated wall-clock time to modelled Myrinet time.
+		p.ThroughputMbps = perHostBytesPerSec * 8 / 1e6 * l.Cfg.TimeScale
+	}
+	if rxPkts+drops > 0 {
+		p.LossRate = float64(drops) / float64(rxPkts+drops)
+	}
+	return p
+}
+
+// Sweep measures a series of packet sizes for one sender mode — a full
+// curve of Figure 12 (and its Figure 13 loss counterpart).
+func Sweep(cfg Config, sizes []int, allSend bool, perPoint time.Duration) []Point {
+	out := make([]Point, 0, len(sizes))
+	for _, s := range sizes {
+		out = append(out, Measure(cfg, s, allSend, perPoint))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int64
+	times := []int64{5, 1, 9, 3, 3, 7, 0, 2}
+	for _, tm := range times {
+		tm := tm
+		q.Schedule(tm, func() { got = append(got, tm) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	want := append([]int64(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.Schedule(42, func() { got = append(got, i) })
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of schedule order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	fired := map[int]bool{}
+	var events []*Event
+	for i := 0; i < 10; i++ {
+		i := i
+		events = append(events, q.Schedule(int64(i), func() { fired[i] = true }))
+	}
+	q.Cancel(events[3])
+	q.Cancel(events[7])
+	q.Cancel(events[7]) // double-cancel is a no-op
+	if q.Len() != 8 {
+		t.Fatalf("Len = %d after cancels, want 8", q.Len())
+	}
+	for q.Len() > 0 {
+		q.Pop().Fire()
+	}
+	for i := 0; i < 10; i++ {
+		want := i != 3 && i != 7
+		if fired[i] != want {
+			t.Fatalf("event %d fired=%v, want %v", i, fired[i], want)
+		}
+	}
+	if !events[3].Canceled() {
+		t.Fatal("canceled event does not report Canceled")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var q Queue
+	q.Cancel(nil) // must not panic
+}
+
+func TestCancelAfterPop(t *testing.T) {
+	var q Queue
+	e := q.Schedule(1, func() {})
+	popped := q.Pop()
+	if popped != e {
+		t.Fatal("popped wrong event")
+	}
+	q.Cancel(e) // canceling a fired event is a no-op
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestPeekTime(t *testing.T) {
+	var q Queue
+	q.Schedule(9, func() {})
+	q.Schedule(2, func() {})
+	q.Schedule(5, func() {})
+	if got := q.PeekTime(); got != 2 {
+		t.Fatalf("PeekTime = %d, want 2", got)
+	}
+}
+
+func TestHeapPropertyRandomized(t *testing.T) {
+	// Property: popping always yields non-decreasing times regardless of the
+	// interleaving of schedules and cancels.
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var q Queue
+		var live []*Event
+		for i := 0; i < 500; i++ {
+			switch {
+			case q.Len() == 0 || r.Intn(3) > 0:
+				live = append(live, q.Schedule(int64(r.Intn(1000)), func() {}))
+			case r.Intn(2) == 0 && len(live) > 0:
+				q.Cancel(live[r.Intn(len(live))])
+			default:
+				q.Pop()
+			}
+		}
+		last := int64(-1)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < last {
+				return false
+			}
+			last = e.Time
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndPop(b *testing.B) {
+	var q Queue
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		q.Schedule(int64(r.Intn(1<<20)), nil)
+		if q.Len() > 1024 {
+			q.Pop()
+		}
+	}
+}

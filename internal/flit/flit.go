@@ -1,0 +1,274 @@
+// Package flit defines the unit of information transfer in the wormhole
+// network: worms and the byte-sized flits they are made of.
+//
+// A worm (Section 2 of the paper) is a variable-length message, up to 9 KB
+// in Myrinet, consisting of a source-route header, a payload, and a tail
+// marker.  The simulator models the network at the byte level: one flit is
+// one byte on the wire, and a flit takes one byte-time (12.5 ns at
+// 640 Mb/s) to cross a link stage.
+package flit
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/topology"
+)
+
+// MaxWormSize is the largest worm the LANai control program allows (9 KB).
+const MaxWormSize = 9 * 1024
+
+// Kind classifies a flit.
+type Kind uint8
+
+// Flit kinds.
+const (
+	// Header flits carry source-route bytes, consumed or rewritten by
+	// switches.
+	Header Kind = iota
+	// Payload flits carry message data (content is not modelled).
+	Payload
+	// Tail marks the end of the worm; forwarding state is torn down when
+	// it passes.  It models Myrinet's end-of-packet control symbol plus
+	// the recomputed checksum trailer.
+	Tail
+)
+
+// String returns a single-letter mnemonic (H/P/T).
+func (k Kind) String() string {
+	switch k {
+	case Header:
+		return "H"
+	case Payload:
+		return "P"
+	case Tail:
+		return "T"
+	default:
+		return "?"
+	}
+}
+
+// Mode is the routing mode of a worm, dispatched on by switch input ports.
+// (Real hardware would carry this as a packet-type byte; the simulator
+// stores it in worm metadata for convenience.)
+type Mode uint8
+
+// Worm routing modes.
+const (
+	// Unicast worms carry a port-list header, one byte stripped per switch.
+	Unicast Mode = iota
+	// MulticastTree worms carry the linearized tree header of Figure 2 and
+	// are replicated inside switches.
+	MulticastTree
+	// Broadcast worms carry a unicast route to the up/down root followed
+	// by the broadcast pseudo-port (Section 3).
+	Broadcast
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Unicast:
+		return "unicast"
+	case MulticastTree:
+		return "multicast-tree"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Worm is one message in flight.  The same Worm is referenced by every flit
+// of every replica; per-branch state lives in the fabric, not here.
+type Worm struct {
+	// ID is unique per injected worm (retransmissions reuse it so that
+	// statistics can track end-to-end delivery).
+	ID int64
+	// Src is the originating host.
+	Src topology.NodeID
+	// Dst is the destination host for unicast worms; for multicast worms
+	// it is the next-hop host at the adapter level, or None for
+	// switch-level multicast.
+	Dst topology.NodeID
+	// Mode selects the switch forwarding behaviour.
+	Mode Mode
+	// Group is the multicast group ID, or -1 for pure unicast traffic.
+	Group int
+	// Header is the source-route header at injection time.
+	Header []byte
+	// PayloadLen is the number of payload bytes.
+	PayloadLen int
+
+	// Created is when the worm was generated (for end-to-end latency);
+	// Injected is when its head flit first entered the network.
+	Created, Injected des.Time
+
+	// Meta carries adapter- or application-level context through the
+	// fabric untouched.
+	Meta any
+
+	// RxProgress counts payload flits delivered so far at the receiving
+	// host interface, and RxDone is set when reception completes.  A host
+	// adapter forwarding this worm in cut-through mode paces the outgoing
+	// copy against these (see PaceFrom).
+	RxProgress int
+	RxDone     bool
+
+	// PaceFrom, when non-nil, marks this worm as a cut-through forward of
+	// a still-arriving upstream worm: the host interface transmits payload
+	// byte i only once PaceFrom.RxProgress exceeds i, and the tail only
+	// once PaceFrom.RxDone — a retransmission cannot outrun its reception.
+	PaceFrom *Worm
+}
+
+// WireSize returns the number of flits the worm occupies on the wire at
+// injection: header + payload + tail.
+func (w *Worm) WireSize() int { return len(w.Header) + w.PayloadLen + 1 }
+
+// Validate checks worm invariants before injection.
+func (w *Worm) Validate() error {
+	if len(w.Header) == 0 {
+		return fmt.Errorf("flit: worm %d has empty header", w.ID)
+	}
+	if w.PayloadLen < 0 {
+		return fmt.Errorf("flit: worm %d has negative payload", w.ID)
+	}
+	if w.WireSize() > MaxWormSize {
+		return fmt.Errorf("flit: worm %d wire size %d exceeds LANai limit %d",
+			w.ID, w.WireSize(), MaxWormSize)
+	}
+	return nil
+}
+
+// Flit is one byte on the wire.
+type Flit struct {
+	// W is the worm this flit belongs to.
+	W *Worm
+	// Kind classifies the flit.
+	Kind Kind
+	// B is the header byte value; meaningful only when Kind == Header.
+	B byte
+}
+
+// String renders the flit for traces.
+func (f Flit) String() string {
+	if f.W == nil {
+		return "<empty>"
+	}
+	if f.Kind == Header {
+		return fmt.Sprintf("w%d:H[%d]", f.W.ID, f.B)
+	}
+	return fmt.Sprintf("w%d:%s", f.W.ID, f.Kind)
+}
+
+// Stream generates a worm's flits one at a time, given the header bytes to
+// emit (which may differ from w.Header downstream of a multicast stamp).
+type Stream struct {
+	W       *Worm
+	header  []byte
+	hi      int // next header byte index
+	payload int // payload flits remaining
+	done    bool
+}
+
+// NewStream returns a flit stream for the worm carrying the given header
+// bytes, followed by the worm's payload and a tail flit.
+func NewStream(w *Worm, header []byte) *Stream {
+	return &Stream{W: w, header: header, payload: w.PayloadLen}
+}
+
+// Next returns the next flit of the stream.  ok is false when the stream is
+// exhausted (the previous flit was the tail).
+func (s *Stream) Next() (f Flit, ok bool) {
+	switch {
+	case s.done:
+		return Flit{}, false
+	case s.hi < len(s.header):
+		f = Flit{W: s.W, Kind: Header, B: s.header[s.hi]}
+		s.hi++
+	case s.payload > 0:
+		f = Flit{W: s.W, Kind: Payload}
+		s.payload--
+	default:
+		f = Flit{W: s.W, Kind: Tail}
+		s.done = true
+	}
+	return f, true
+}
+
+// Remaining returns how many flits the stream will still produce.
+func (s *Stream) Remaining() int {
+	if s.done {
+		return 0
+	}
+	return (len(s.header) - s.hi) + s.payload + 1
+}
+
+// CanSend reports whether the next flit may be transmitted given the
+// worm's cut-through pacing source (nil means unpaced: always sendable
+// until exhausted).  Header flits are always available (the adapter knows
+// the route before the payload arrives); payload byte i needs i <
+// from.RxProgress; the tail needs complete upstream reception.
+func (s *Stream) CanSend(from *Worm) bool {
+	if s.done {
+		return false
+	}
+	if from == nil {
+		return true
+	}
+	switch {
+	case s.hi < len(s.header):
+		return true
+	case s.payload > 0:
+		sent := s.W.PayloadLen - s.payload
+		return sent < from.RxProgress
+	default:
+		return from.RxDone
+	}
+}
+
+// Reassembler collects the flits of one incoming worm at a host interface
+// and reports completion.  It tolerates fragments (the interrupted-
+// transmission multicast scheme of Section 3 resumes with a fresh header),
+// counting payload bytes across fragments of the same worm.
+type Reassembler struct {
+	w        *Worm
+	payload  int
+	headerIn int
+	// Fragments counts tail-terminated segments seen for this worm.
+	Fragments int
+}
+
+// Feed consumes one flit.  done is true when a tail flit arrives.
+func (r *Reassembler) Feed(f Flit) (done bool, err error) {
+	if r.w == nil {
+		r.w = f.W
+	} else if r.w != f.W {
+		return false, fmt.Errorf("flit: interleaved worms %d and %d at reassembler", r.w.ID, f.W.ID)
+	}
+	switch f.Kind {
+	case Header:
+		r.headerIn++
+	case Payload:
+		r.payload++
+	case Tail:
+		r.Fragments++
+		return true, nil
+	}
+	return false, nil
+}
+
+// Worm returns the worm being reassembled (nil before the first flit).
+func (r *Reassembler) Worm() *Worm { return r.w }
+
+// PayloadBytes returns how many payload flits have arrived so far.
+func (r *Reassembler) PayloadBytes() int { return r.payload }
+
+// Complete reports whether every payload byte of the worm has arrived.
+func (r *Reassembler) Complete() bool {
+	return r.w != nil && r.payload >= r.w.PayloadLen
+}
+
+// Reset prepares the reassembler for the next worm.
+func (r *Reassembler) Reset() { *r = Reassembler{} }

@@ -1,0 +1,64 @@
+package flit
+
+import "testing"
+
+func TestCanSendUnpaced(t *testing.T) {
+	w := &Worm{ID: 1, Header: []byte{1}, PayloadLen: 2}
+	s := NewStream(w, w.Header)
+	for s.Remaining() > 0 {
+		if !s.CanSend(nil) {
+			t.Fatal("unpaced stream refused to send")
+		}
+		s.Next()
+	}
+	if s.CanSend(nil) {
+		t.Fatal("exhausted stream claims sendable")
+	}
+}
+
+func TestCanSendPacedByUpstream(t *testing.T) {
+	upstream := &Worm{ID: 1, Header: []byte{9}, PayloadLen: 3}
+	fwd := &Worm{ID: 2, Header: []byte{4, 2}, PayloadLen: 3, PaceFrom: upstream}
+	s := NewStream(fwd, fwd.Header)
+
+	// Header flits are always available: the adapter knows the route.
+	for i := 0; i < 2; i++ {
+		if !s.CanSend(fwd.PaceFrom) {
+			t.Fatalf("header flit %d blocked by pacing", i)
+		}
+		s.Next()
+	}
+	// Payload byte 0 requires RxProgress > 0.
+	if s.CanSend(fwd.PaceFrom) {
+		t.Fatal("payload sent before upstream delivered any bytes")
+	}
+	upstream.RxProgress = 1
+	if !s.CanSend(fwd.PaceFrom) {
+		t.Fatal("payload byte 0 blocked despite RxProgress=1")
+	}
+	s.Next()
+	// Payload byte 1 requires RxProgress > 1.
+	if s.CanSend(fwd.PaceFrom) {
+		t.Fatal("payload outran reception")
+	}
+	upstream.RxProgress = 3
+	if !s.CanSend(fwd.PaceFrom) {
+		t.Fatal("blocked with full progress")
+	}
+	s.Next()
+	s.Next()
+	// Tail requires complete upstream reception.
+	if s.CanSend(fwd.PaceFrom) {
+		t.Fatal("tail sent before upstream completed")
+	}
+	upstream.RxDone = true
+	if !s.CanSend(fwd.PaceFrom) {
+		t.Fatal("tail blocked after completion")
+	}
+	if f, ok := s.Next(); !ok || f.Kind != Tail {
+		t.Fatalf("expected tail, got %v %v", f, ok)
+	}
+	if s.CanSend(fwd.PaceFrom) {
+		t.Fatal("exhausted paced stream claims sendable")
+	}
+}

@@ -1,0 +1,138 @@
+// Package ipmap implements the interoperation between IP multicast and
+// Myrinet multicast groups described in Section 8.1 of the paper.
+//
+// IP multicast uses class D addresses (224.0.0.0/4, a 28-bit group space).
+// The Myrinet implementation uses eight-bit group identifiers, with group
+// 255 reserved for broadcast.  The mapping takes the low eight bits of the
+// class D address as the Myrinet group; collisions (distinct IP groups
+// sharing low bits) are legal because the receiving IP layer filters, but
+// the driver must keep each Myrinet group equal to the union of all IP
+// groups sharing those low bits.
+package ipmap
+
+import (
+	"fmt"
+	"net"
+	"sort"
+
+	"wormlan/internal/topology"
+)
+
+// BroadcastGroup is the Myrinet group reserved for broadcast.
+const BroadcastGroup uint8 = 255
+
+// MapIP returns the Myrinet multicast group for a class D IP address.  It
+// rejects non-class-D addresses and addresses whose low byte collides with
+// the broadcast group.
+func MapIP(ip net.IP) (uint8, error) {
+	v4 := ip.To4()
+	if v4 == nil {
+		return 0, fmt.Errorf("ipmap: %v is not an IPv4 address", ip)
+	}
+	if v4[0]&0xF0 != 0xE0 {
+		return 0, fmt.Errorf("ipmap: %v is not a class D (multicast) address", ip)
+	}
+	g := v4[3]
+	if g == BroadcastGroup {
+		return 0, fmt.Errorf("ipmap: %v maps to the reserved broadcast group %d", ip, BroadcastGroup)
+	}
+	return g, nil
+}
+
+// Table maintains the driver's view: which hosts joined which IP groups,
+// and therefore which Myrinet groups must exist with which members (the
+// union rule of Section 8.1).
+type Table struct {
+	// joined[host][ip-string] for IP-level filtering.
+	joined map[topology.NodeID]map[string]bool
+	// members[group][host] for the Myrinet-level union groups.
+	members map[uint8]map[topology.NodeID]int // count of IP groups mapping here
+}
+
+// NewTable returns an empty membership table.
+func NewTable() *Table {
+	return &Table{
+		joined:  make(map[topology.NodeID]map[string]bool),
+		members: make(map[uint8]map[topology.NodeID]int),
+	}
+}
+
+// Join records that host joined the IP multicast group ip.  It returns the
+// Myrinet group the driver must (re)program.
+func (t *Table) Join(host topology.NodeID, ip net.IP) (uint8, error) {
+	g, err := MapIP(ip)
+	if err != nil {
+		return 0, err
+	}
+	key := ip.String()
+	hj := t.joined[host]
+	if hj == nil {
+		hj = make(map[string]bool)
+		t.joined[host] = hj
+	}
+	if hj[key] {
+		return g, nil // idempotent
+	}
+	hj[key] = true
+	hm := t.members[g]
+	if hm == nil {
+		hm = make(map[topology.NodeID]int)
+		t.members[g] = hm
+	}
+	hm[host]++
+	return g, nil
+}
+
+// Leave records that host left the IP group; the host remains a member of
+// the Myrinet group while any other IP group with the same low bits keeps
+// it there.
+func (t *Table) Leave(host topology.NodeID, ip net.IP) (uint8, error) {
+	g, err := MapIP(ip)
+	if err != nil {
+		return 0, err
+	}
+	key := ip.String()
+	if !t.joined[host][key] {
+		return g, nil
+	}
+	delete(t.joined[host], key)
+	hm := t.members[g]
+	hm[host]--
+	if hm[host] <= 0 {
+		delete(hm, host)
+		if len(hm) == 0 {
+			delete(t.members, g)
+		}
+	}
+	return g, nil
+}
+
+// Members returns the hosts that must belong to the given Myrinet group —
+// the union of all IP groups whose addresses share its low eight bits —
+// in ascending host order (the order the circuit/tree builders expect).
+func (t *Table) Members(g uint8) []topology.NodeID {
+	hm := t.members[g]
+	out := make([]topology.NodeID, 0, len(hm))
+	for h := range hm {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Accept implements the receiver-side IP filtering: a packet for IP group
+// ip delivered on the (possibly shared) Myrinet group is handed up only on
+// hosts that joined that exact IP group.
+func (t *Table) Accept(host topology.NodeID, ip net.IP) bool {
+	return t.joined[host][ip.String()]
+}
+
+// Groups returns all active Myrinet groups in ascending order.
+func (t *Table) Groups() []uint8 {
+	out := make([]uint8, 0, len(t.members))
+	for g := range t.members {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

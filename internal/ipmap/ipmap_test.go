@@ -1,0 +1,122 @@
+package ipmap
+
+import (
+	"net"
+	"testing"
+)
+
+func TestMapIP(t *testing.T) {
+	cases := []struct {
+		ip   string
+		want uint8
+		ok   bool
+	}{
+		{"224.0.0.1", 1, true},
+		{"239.1.2.3", 3, true},
+		{"224.9.8.254", 254, true},
+		{"224.0.0.255", 0, false}, // broadcast collision
+		{"10.0.0.1", 0, false},    // not class D
+		{"192.168.1.7", 0, false},
+	}
+	for _, c := range cases {
+		g, err := MapIP(net.ParseIP(c.ip))
+		if c.ok && (err != nil || g != c.want) {
+			t.Errorf("MapIP(%s) = %d, %v", c.ip, g, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("MapIP(%s) accepted", c.ip)
+		}
+	}
+	if _, err := MapIP(net.ParseIP("::1")); err == nil {
+		t.Error("IPv6 accepted")
+	}
+}
+
+func TestUnionRule(t *testing.T) {
+	// Two IP groups sharing low bits (x.x.x.9): the Myrinet group must be
+	// the union of both memberships.
+	tb := NewTable()
+	a := net.ParseIP("224.0.0.9")
+	b := net.ParseIP("239.5.5.9")
+	if _, err := tb.Join(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Join(2, b); err != nil {
+		t.Fatal(err)
+	}
+	tb.Join(3, a)
+	tb.Join(3, b)
+	m := tb.Members(9)
+	if len(m) != 3 || m[0] != 1 || m[1] != 2 || m[2] != 3 {
+		t.Fatalf("union members %v", m)
+	}
+	// Filtering: host 1 accepts only group a.
+	if !tb.Accept(1, a) || tb.Accept(1, b) {
+		t.Fatal("host 1 filtering wrong")
+	}
+	if !tb.Accept(3, a) || !tb.Accept(3, b) {
+		t.Fatal("host 3 filtering wrong")
+	}
+	if tb.Accept(2, a) {
+		t.Fatal("host 2 accepts unjoined group")
+	}
+}
+
+func TestLeaveKeepsUnionMembership(t *testing.T) {
+	tb := NewTable()
+	a := net.ParseIP("224.0.0.9")
+	b := net.ParseIP("239.5.5.9")
+	tb.Join(3, a)
+	tb.Join(3, b)
+	tb.Leave(3, a)
+	// Still a member of Myrinet group 9 via b.
+	m := tb.Members(9)
+	if len(m) != 1 || m[0] != 3 {
+		t.Fatalf("members after partial leave: %v", m)
+	}
+	if tb.Accept(3, a) {
+		t.Fatal("still accepting left group")
+	}
+	if !tb.Accept(3, b) {
+		t.Fatal("dropped remaining group")
+	}
+	tb.Leave(3, b)
+	if len(tb.Members(9)) != 0 {
+		t.Fatal("members after full leave")
+	}
+	if len(tb.Groups()) != 0 {
+		t.Fatal("group not garbage-collected")
+	}
+}
+
+func TestJoinIdempotentLeaveUnjoined(t *testing.T) {
+	tb := NewTable()
+	a := net.ParseIP("224.0.0.4")
+	tb.Join(1, a)
+	tb.Join(1, a)
+	if len(tb.Members(4)) != 1 {
+		t.Fatal("double join double-counted")
+	}
+	if _, err := tb.Leave(2, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Leave(1, net.ParseIP("8.8.8.8")); err == nil {
+		t.Fatal("leave of non-class-D accepted")
+	}
+	tb.Leave(1, a)
+	tb.Leave(1, a) // idempotent
+	if len(tb.Members(4)) != 0 {
+		t.Fatal("leave failed")
+	}
+}
+
+func TestGroupsSorted(t *testing.T) {
+	tb := NewTable()
+	tb.Join(1, net.ParseIP("224.0.0.9"))
+	tb.Join(1, net.ParseIP("224.0.0.3"))
+	tb.Join(2, net.ParseIP("224.0.0.200"))
+	gs := tb.Groups()
+	if len(gs) != 3 || gs[0] != 3 || gs[1] != 9 || gs[2] != 200 {
+		t.Fatalf("groups %v", gs)
+	}
+}

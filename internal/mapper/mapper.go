@@ -1,0 +1,200 @@
+// Package mapper simulates the distributed "mapping" algorithm that
+// Autonet [SBB+91] and Myrinet run in the background to compute the
+// up/down spanning tree (Section 2 of the paper: "the 'up'/'down' state of
+// a link is relative to a spanning tree computed in the background by a
+// distributed algorithm").
+//
+// The algorithm is an asynchronous distributed breadth-first search with
+// root election: every switch initially claims to be the root; switches
+// exchange (root, distance) claims with their neighbours over the real
+// link delays; a switch adopts a claim that names a lower root ID, or the
+// same root at a shorter distance, and re-propagates.  The protocol
+// converges to a spanning tree rooted at the lowest-numbered switch.
+// The package also recomputes the map after link failures — the scenario
+// the paper raises when it calls crosslinks "back-ups in case of failure".
+package mapper
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/topology"
+)
+
+// claim is one mapping message: "my best known root is Root, and I sit
+// Dist hops from it".
+type claim struct {
+	Root topology.NodeID
+	Dist int
+}
+
+// better reports whether c should replace cur.
+func (c claim) better(cur claim) bool {
+	if c.Root != cur.Root {
+		return c.Root < cur.Root
+	}
+	return c.Dist < cur.Dist
+}
+
+// LinkID identifies a directed switch-to-switch link for failure
+// injection.
+type LinkID struct {
+	Node topology.NodeID
+	Port topology.PortID
+}
+
+// Result is the converged map.
+type Result struct {
+	Root   topology.NodeID
+	Parent []topology.NodeID // per node; None for the root and for hosts
+	Level  []int             // per node; -1 for hosts
+
+	// Messages is the total number of claims exchanged; ConvergedAt is
+	// the simulation time of the last state change.
+	Messages    int
+	ConvergedAt des.Time
+}
+
+// node is the per-switch protocol state.
+type node struct {
+	id     topology.NodeID
+	best   claim
+	parent topology.NodeID
+	pport  topology.PortID // port toward parent
+}
+
+// Run executes the mapping protocol on a fresh kernel over the switches of
+// g, treating links in failed as unusable (both directions fail together;
+// passing either direction suffices).  It returns an error if the
+// surviving topology is disconnected.
+func Run(g *topology.Graph, failed map[LinkID]bool) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mapper: %w", err)
+	}
+	k := des.NewKernel()
+	res := &Result{
+		Parent: make([]topology.NodeID, len(g.Nodes)),
+		Level:  make([]int, len(g.Nodes)),
+	}
+	nodes := make([]*node, len(g.Nodes))
+	for i := range g.Nodes {
+		res.Parent[i] = topology.None
+		res.Level[i] = -1
+		if g.Nodes[i].Kind == topology.Switch {
+			nodes[i] = &node{
+				id:     topology.NodeID(i),
+				best:   claim{Root: topology.NodeID(i), Dist: 0},
+				parent: topology.None,
+				pport:  topology.NoPort,
+			}
+		}
+	}
+	linkDown := func(n topology.NodeID, p topology.PortID) bool {
+		if failed == nil {
+			return false
+		}
+		if failed[LinkID{n, p}] {
+			return true
+		}
+		peer := g.Node(n).Ports[p]
+		return failed[LinkID{peer.Peer, peer.PeerPort}]
+	}
+
+	// send schedules delivery of a claim across a link after its delay.
+	var deliver func(to topology.NodeID, viaPort topology.PortID, c claim)
+	send := func(from *node) {
+		for pi, p := range g.Node(from.id).Ports {
+			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
+				continue
+			}
+			if linkDown(from.id, topology.PortID(pi)) {
+				continue
+			}
+			res.Messages++
+			peer, peerPort := p.Peer, p.PeerPort
+			c := claim{Root: from.best.Root, Dist: from.best.Dist + 1}
+			k.After(p.Delay, func() { deliver(peer, peerPort, c) })
+		}
+	}
+	deliver = func(to topology.NodeID, viaPort topology.PortID, c claim) {
+		n := nodes[to]
+		if !c.better(n.best) {
+			return
+		}
+		n.best = c
+		n.parent = g.Node(to).Ports[viaPort].Peer
+		n.pport = viaPort
+		res.ConvergedAt = k.Now()
+		send(n)
+	}
+
+	// Kick off: everyone announces its own claim.
+	for _, n := range nodes {
+		if n != nil {
+			send(n)
+		}
+	}
+	if err := k.Run(0); err != nil {
+		return nil, err
+	}
+
+	// Extract and validate the converged tree.
+	root := topology.None
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if root == topology.None || n.best.Root < root {
+			root = n.best.Root
+		}
+	}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		if n.best.Root != root {
+			return nil, fmt.Errorf("mapper: switch %d converged to root %d, not %d (disconnected?)",
+				n.id, n.best.Root, root)
+		}
+		res.Parent[n.id] = n.parent
+		res.Level[n.id] = n.best.Dist
+	}
+	res.Root = root
+	return res, nil
+}
+
+// Verify checks the structural invariants of the converged map: a single
+// root at level 0, every other switch with a parent one level up across a
+// live link.
+func (r *Result) Verify(g *topology.Graph, failed map[LinkID]bool) error {
+	if r.Level[r.Root] != 0 || r.Parent[r.Root] != topology.None {
+		return fmt.Errorf("mapper: root %d has level %d / parent %d",
+			r.Root, r.Level[r.Root], r.Parent[r.Root])
+	}
+	for _, sw := range g.Switches() {
+		if sw == r.Root {
+			continue
+		}
+		p := r.Parent[sw]
+		if p == topology.None {
+			return fmt.Errorf("mapper: switch %d has no parent", sw)
+		}
+		if r.Level[sw] != r.Level[p]+1 {
+			return fmt.Errorf("mapper: switch %d level %d, parent %d level %d",
+				sw, r.Level[sw], p, r.Level[p])
+		}
+		wired := false
+		for pi, port := range g.Node(sw).Ports {
+			if port.Wired() && port.Peer == p {
+				if failed == nil || (!failed[LinkID{sw, topology.PortID(pi)}] &&
+					!failed[LinkID{p, port.PeerPort}]) {
+					wired = true
+				}
+			}
+		}
+		if !wired {
+			return fmt.Errorf("mapper: switch %d's parent %d not reachable over a live link", sw, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package mapper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+func TestConvergesToLowestRootBFSLevels(t *testing.T) {
+	for name, g := range map[string]*topology.Graph{
+		"torus":      topology.Torus(4, 4, 1, 1),
+		"shufflenet": topology.BidirShufflenet(2, 3, 1000),
+		"myrinet4":   topology.Myrinet4(),
+		"ring":       topology.Ring(7, 1),
+		"fattree":    topology.FatTreeish(4, 2, true),
+	} {
+		t.Run(name, func(t *testing.T) {
+			r, err := Run(g, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Verify(g, nil); err != nil {
+				t.Fatal(err)
+			}
+			if r.Root != g.Switches()[0] {
+				t.Fatalf("root = %d, want lowest switch %d", r.Root, g.Switches()[0])
+			}
+			// Levels must equal BFS distances: compare against the
+			// centralized computation used by the routing layer.
+			ud, err := updown.New(g, r.Root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sw := range g.Switches() {
+				if r.Level[sw] != ud.Level[sw] {
+					t.Fatalf("switch %d: mapper level %d, BFS level %d",
+						sw, r.Level[sw], ud.Level[sw])
+				}
+			}
+			if r.Messages == 0 {
+				t.Fatal("no messages exchanged")
+			}
+		})
+	}
+}
+
+func TestConvergenceTimeScalesWithDelay(t *testing.T) {
+	fast, err := Run(topology.Ring(6, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(topology.Ring(6, 500), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ConvergedAt < 100*fast.ConvergedAt {
+		t.Fatalf("convergence %d vs %d did not scale with link delay",
+			fast.ConvergedAt, slow.ConvergedAt)
+	}
+}
+
+func TestRemapAfterLinkFailure(t *testing.T) {
+	// Fail one ring link: the map must route the tree the long way round.
+	g := topology.Ring(6, 1)
+	sws := g.Switches()
+	var failPort topology.PortID = topology.NoPort
+	for pi, p := range g.Node(sws[0]).Ports {
+		if p.Wired() && p.Peer == sws[1] {
+			failPort = topology.PortID(pi)
+		}
+	}
+	failed := map[LinkID]bool{{sws[0], failPort}: true}
+	r, err := Run(g, failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(g, failed); err != nil {
+		t.Fatal(err)
+	}
+	// s1 can now only be reached the long way: level 5.
+	if r.Level[sws[1]] != 5 {
+		t.Fatalf("level of s1 after failure = %d, want 5", r.Level[sws[1]])
+	}
+	// The healthy map reaches it directly.
+	healthy, err := Run(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Level[sws[1]] != 1 {
+		t.Fatalf("healthy level of s1 = %d", healthy.Level[sws[1]])
+	}
+}
+
+func TestDisconnectionDetected(t *testing.T) {
+	// Fail both links of a line's middle: the protocol must report the
+	// partition instead of returning a bogus tree.
+	g := topology.Line(3, 1)
+	sws := g.Switches()
+	failed := map[LinkID]bool{}
+	for pi, p := range g.Node(sws[1]).Ports {
+		if p.Wired() && g.Node(p.Peer).Kind == topology.Switch {
+			failed[LinkID{sws[1], topology.PortID(pi)}] = true
+		}
+	}
+	if _, err := Run(g, failed); err == nil {
+		t.Fatal("partitioned topology produced a map")
+	}
+}
+
+func TestFailureSpecifiedFromEitherEnd(t *testing.T) {
+	g := topology.Ring(4, 1)
+	sws := g.Switches()
+	// Find the directed link s0 -> s1 and fail it from s1's side.
+	var reversePort topology.PortID = topology.NoPort
+	for pi, p := range g.Node(sws[1]).Ports {
+		if p.Wired() && p.Peer == sws[0] {
+			reversePort = topology.PortID(pi)
+		}
+	}
+	r, err := Run(g, map[LinkID]bool{{sws[1], reversePort}: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Level[sws[1]] != 3 {
+		t.Fatalf("level of s1 = %d, want 3 (the long way)", r.Level[sws[1]])
+	}
+}
+
+func TestMapperMatchesCentralizedOnRandomTopologies(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%20) + 3
+		d := int(dRaw%3) + 2
+		g := topology.Random(n, d, seed)
+		r, err := Run(g, nil)
+		if err != nil {
+			return false
+		}
+		if r.Verify(g, nil) != nil {
+			return false
+		}
+		ud, err := updown.New(g, r.Root)
+		if err != nil {
+			return false
+		}
+		for _, sw := range g.Switches() {
+			if r.Level[sw] != ud.Level[sw] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMapTorus8x8(b *testing.B) {
+	g := topology.Torus(8, 8, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

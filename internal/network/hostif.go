@@ -1,0 +1,93 @@
+package network
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/topology"
+)
+
+// hostIf is a host adapter's network interface: it serializes injected
+// worms onto the host link and reassembles arriving worms.
+//
+// Following the paper's simulator ("does not propagate backpressure from
+// the host adapter to the network", Section 7), the receive side always
+// accepts flits; adapter buffer contention is handled one level up by the
+// worm-granularity ACK/NACK protocol of internal/adapter (or, in the
+// prototype emulation, by dropping on a finite input ring).
+type hostIf struct {
+	node    topology.NodeID
+	f       *Fabric
+	outLink *dlink
+
+	queue []*flit.Worm
+	cur   *flit.Stream
+
+	rx flit.Reassembler
+}
+
+func (h *hostIf) receive(fl flit.Flit, now des.Time) {
+	first := h.rx.Worm() == nil
+	done, err := h.rx.Feed(fl)
+	if err != nil {
+		panic(fmt.Sprintf("network: host %d: %v", h.node, err))
+	}
+	h.f.ctr.FlitsDelivered++
+	if first && h.f.Cfg.OnHeadArrival != nil {
+		h.f.Cfg.OnHeadArrival(fl.W, h.node, now)
+	}
+	if fl.Kind == flit.Payload {
+		fl.W.RxProgress++
+	}
+	if !done {
+		return
+	}
+	// A tail arrived: either the worm is complete, or this was a fragment
+	// (SchemeInterrupt) and the remainder will follow.
+	if !h.rx.Complete() {
+		return
+	}
+	w := h.rx.Worm()
+	w.RxDone = true
+	frags := h.rx.Fragments
+	h.rx.Reset()
+	h.f.ctr.Delivered++
+	h.f.ctr.Fragments += int64(frags - 1)
+	if h.f.Cfg.OnDeliver != nil {
+		h.f.Cfg.OnDeliver(Delivery{Worm: w, Host: h.node, At: now, Fragments: frags})
+	}
+}
+
+func (h *hostIf) transmit(now des.Time) {
+	if h.cur == nil {
+		if len(h.queue) == 0 {
+			return
+		}
+		w := h.queue[0]
+		h.queue = h.queue[1:]
+		if w.Injected == 0 {
+			w.Injected = now
+		}
+		h.cur = flit.NewStream(w, w.Header)
+	}
+	if h.outLink.stopAtSender {
+		return
+	}
+	if !h.cur.CanSend(h.cur.W.PaceFrom) {
+		// Cut-through pacing: the upstream copy of this worm has not yet
+		// delivered the byte we would transmit next.
+		return
+	}
+	fl, ok := h.cur.Next()
+	if !ok {
+		h.cur = nil
+		return
+	}
+	h.outLink.send(now, fl)
+	h.f.moved = true
+	h.f.ctr.FlitsCarried++
+	if h.cur.Remaining() == 0 {
+		h.cur = nil
+	}
+}

@@ -1,0 +1,77 @@
+package network
+
+import (
+	"fmt"
+
+	"wormlan/internal/flit"
+	"wormlan/internal/topology"
+)
+
+// dlink is one direction of a full-duplex cable.  The forward channel is a
+// pipeline of delay byte-slots; the reverse channel carries the STOP/GO
+// state of the downstream slack buffer with the same propagation delay
+// (Myrinet sends STOP and GO control symbols on the paired return line).
+type dlink struct {
+	delay int
+
+	// pipe[s]/occ[s] hold the flit written at a tick with now%delay == s;
+	// it is delivered exactly delay ticks later when the slot index comes
+	// around again.
+	pipe []flit.Flit
+	occ  []bool
+	// ctrl[s] carries the downstream STOP wish written at slot s, read by
+	// the sender delay ticks later.
+	ctrl []bool
+
+	srcNode topology.NodeID
+	srcPort topology.PortID
+	dstNode topology.NodeID
+	dstPort topology.PortID
+
+	// stopAtSender is the delayed view of the downstream STOP state, as
+	// currently visible at the sending end.
+	stopAtSender bool
+
+	// carried counts flits that have crossed this link (utilization).
+	carried int64
+	// inFlight counts occupied pipeline slots, so the fabric knows the
+	// link still holds data even when no slot is due for delivery.
+	inFlight int
+}
+
+// send places a flit on the wire at the given tick.  The caller must send
+// at most one flit per link per tick; a second send is a model bug.
+func (l *dlink) send(now int64, fl flit.Flit) {
+	slot := int(now % int64(l.delay))
+	if l.occ[slot] {
+		panic(fmt.Sprintf("network: double send on link %d.%d->%d.%d at t=%d",
+			l.srcNode, l.srcPort, l.dstNode, l.dstPort, now))
+	}
+	l.pipe[slot] = fl
+	l.occ[slot] = true
+	l.carried++
+	l.inFlight++
+}
+
+// LinkStat reports per-link utilization.
+type LinkStat struct {
+	Src     topology.NodeID
+	SrcPort topology.PortID
+	Dst     topology.NodeID
+	DstPort topology.PortID
+	Carried int64
+}
+
+// LinkStats returns a snapshot of per-directional-link flit counts, in
+// deterministic construction order.
+func (f *Fabric) LinkStats() []LinkStat {
+	out := make([]LinkStat, len(f.links))
+	for i, l := range f.links {
+		out[i] = LinkStat{
+			Src: l.srcNode, SrcPort: l.srcPort,
+			Dst: l.dstNode, DstPort: l.dstPort,
+			Carried: l.carried,
+		}
+	}
+	return out
+}

@@ -1,0 +1,384 @@
+// Package network implements the wormhole-routing switching fabric at the
+// byte level: crossbar switches with slack-buffered input ports, STOP/GO
+// backpressure flow control (Figure 1 of the paper), round-robin output
+// arbitration, links with propagation delay, and host network interfaces.
+//
+// The model follows Section 2 of the paper (the Myrinet protocols):
+//
+//   - Wormhole routing: a switch forwards a worm toward its output port as
+//     soon as the head is routed; a worm may stretch across several links.
+//   - Backpressure: each input port has a small slack buffer with a STOP
+//     threshold Ks and a GO threshold Kg; STOP/GO symbols travel on the
+//     reverse channel with the same propagation delay as data.
+//   - Source routing: unicast worms carry a list of output-port bytes, one
+//     stripped per switch.
+//
+// Switch-level multicasting (Section 3) is implemented in three flavours
+// selected by Config.Scheme; see the MulticastScheme constants.
+//
+// The fabric is driven by a des.Kernel and advances one byte-time per tick.
+// Everything is deterministic: ports, switches, and links are always
+// scanned in index order, and arbitration uses a rotating round-robin
+// pointer.
+package network
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// MulticastScheme selects how switches treat replicated worms (Section 3).
+type MulticastScheme uint8
+
+const (
+	// SchemeIdleFill: when any branch of a multicast is blocked, the other
+	// branches transmit IDLE fill (modelled as silence while the bindings
+	// stay held).  Deadlock-free only when all worms are restricted to the
+	// up/down spanning tree.
+	SchemeIdleFill MulticastScheme = iota
+	// SchemeInterrupt: blocked multicasts interrupt transmission on their
+	// non-blocked branches (sending a fragment tail and releasing the
+	// downstream path); on resume each interrupted branch prepends its
+	// stored header.  Destinations reassemble the fragments.
+	SchemeInterrupt
+	// SchemeFlushUnicast: like SchemeIdleFill, but an output that has been
+	// idle-filling for IdleFlagTicks is flagged 'multicast-IDLE', and a
+	// unicast worm blocked by such an output is flushed from the network
+	// (modelling a Backward Reset); its source is notified and must
+	// retransmit after a timeout.
+	SchemeFlushUnicast
+)
+
+// String names the scheme.
+func (s MulticastScheme) String() string {
+	switch s {
+	case SchemeIdleFill:
+		return "idle-fill"
+	case SchemeInterrupt:
+		return "interrupt-resume"
+	case SchemeFlushUnicast:
+		return "flush-unicast"
+	default:
+		return fmt.Sprintf("scheme(%d)", uint8(s))
+	}
+}
+
+// Delivery describes one worm (or worm fragment set) fully received by a
+// host interface.
+type Delivery struct {
+	Worm      *flit.Worm
+	Host      topology.NodeID
+	At        des.Time
+	Fragments int // 1 unless SchemeInterrupt split the worm
+}
+
+// Config parameterizes the fabric.
+type Config struct {
+	// StopMark (Ks) is the slack fill at which an input port sends STOP;
+	// GoMark (Kg) is the fill at which it sends GO.  Slack capacity is
+	// automatically Ks + 2*linkDelay per port, the minimum that guarantees
+	// no overflow.  Defaults: Ks=56, Kg=24 (Myrinet-like, see DESIGN.md).
+	StopMark, GoMark int
+
+	// Scheme selects the switch-level multicast flavour.
+	Scheme MulticastScheme
+
+	// IdleFlagTicks is the idle-fill duration after which an output port is
+	// flagged multicast-IDLE under SchemeFlushUnicast.  Default 64.
+	IdleFlagTicks int
+
+	// OnDeliver is invoked when a host interface completes reassembly of a
+	// worm.  It runs inside the simulation tick; callees may inject.
+	OnDeliver func(d Delivery)
+
+	// OnHeadArrival is invoked when the first flit of a worm reaches a
+	// host interface — the moment a cut-through host adapter can begin
+	// forwarding (Section 4).  The worm's header carries its size, so the
+	// adapter can make its buffer-reservation decision here.
+	OnHeadArrival func(w *flit.Worm, host topology.NodeID, at des.Time)
+
+	// OnFlush is invoked when a unicast worm is flushed from the network
+	// under SchemeFlushUnicast.  The source should retransmit after a
+	// random timeout.
+	OnFlush func(w *flit.Worm, at des.Time)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.StopMark == 0 {
+		out.StopMark = 56
+	}
+	if out.GoMark == 0 {
+		out.GoMark = 24
+	}
+	if out.IdleFlagTicks == 0 {
+		out.IdleFlagTicks = 64
+	}
+	if out.GoMark > out.StopMark {
+		panic(fmt.Sprintf("network: GoMark %d above StopMark %d", out.GoMark, out.StopMark))
+	}
+	return out
+}
+
+// Counters aggregates fabric-wide statistics.
+type Counters struct {
+	Injected       int64 // worms injected by hosts
+	Delivered      int64 // worm deliveries completed (multicast counts each leaf)
+	Flushed        int64 // unicast worms flushed under SchemeFlushUnicast
+	FlitsDelivered int64 // flits handed to host interfaces
+	FlitsCarried   int64 // flit-hops across all links
+	Fragments      int64 // fragment tails beyond the first per delivery
+}
+
+// Fabric is the switching fabric of one wormhole LAN.
+type Fabric struct {
+	K   *des.Kernel
+	G   *topology.Graph
+	Cfg Config
+	// UD provides the spanning tree for Broadcast worms; may be nil if no
+	// broadcast traffic is injected.
+	UD *updown.Routing
+
+	links  []*dlink
+	sw     []*swState // indexed by NodeID; nil for hosts
+	hosts  []*hostIf  // indexed by NodeID; nil for switches
+	active bool
+
+	lastMove des.Time // last tick at which any flit moved
+	work     bool     // any activity (movement or held state) this tick
+	moved    bool     // any flit actually moved this tick
+	ctr      Counters
+}
+
+// New builds a fabric over the topology.  ud may be nil when broadcast
+// worms will not be used.
+func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fabric, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	f := &Fabric{K: k, G: g, Cfg: cfg.withDefaults(), UD: ud}
+	f.sw = make([]*swState, len(g.Nodes))
+	f.hosts = make([]*hostIf, len(g.Nodes))
+
+	// One directional link per wired (node, port); destination resolved to
+	// the peer's input side.
+	for ni := range g.Nodes {
+		n := &g.Nodes[ni]
+		switch n.Kind {
+		case topology.Switch:
+			s := &swState{node: n.ID, f: f}
+			s.in = make([]inPort, len(n.Ports))
+			s.out = make([]outPort, len(n.Ports))
+			for pi := range n.Ports {
+				s.out[pi].boundIn = -1
+				s.in[pi].f = f
+				s.in[pi].sw = s
+				s.in[pi].idx = pi
+			}
+			f.sw[ni] = s
+		case topology.Host:
+			f.hosts[ni] = &hostIf{node: n.ID, f: f}
+		}
+	}
+	for ni := range g.Nodes {
+		n := &g.Nodes[ni]
+		for pi, p := range n.Ports {
+			if !p.Wired() {
+				continue
+			}
+			l := &dlink{
+				delay:   int(p.Delay),
+				srcNode: n.ID, srcPort: topology.PortID(pi),
+				dstNode: p.Peer, dstPort: p.PeerPort,
+			}
+			l.pipe = make([]flit.Flit, l.delay)
+			l.occ = make([]bool, l.delay)
+			l.ctrl = make([]bool, l.delay)
+			f.links = append(f.links, l)
+			if s := f.sw[ni]; s != nil {
+				s.out[pi].link = l
+			} else {
+				f.hosts[ni].outLink = l
+			}
+			// Destination side bookkeeping.
+			if s := f.sw[p.Peer]; s != nil {
+				in := &s.in[p.PeerPort]
+				in.inLink = l
+				in.cap = f.Cfg.StopMark + 2*l.delay
+				in.slack = make([]flit.Flit, in.cap)
+			}
+		}
+	}
+	return f, nil
+}
+
+// Counters returns a snapshot of the fabric-wide counters.
+func (f *Fabric) Counters() Counters { return f.ctr }
+
+// Inject hands a worm to the host's network interface for transmission.
+// The interface sends one worm at a time; others wait in its queue (the
+// paper: "the worm can be injected whenever the interface is free").
+func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
+	h := f.hosts[host]
+	if h == nil {
+		return fmt.Errorf("network: node %d is not a host", host)
+	}
+	if err := w.Validate(); err != nil {
+		return err
+	}
+	if w.Mode == flit.Broadcast && f.UD == nil {
+		return fmt.Errorf("network: broadcast worm without up/down routing")
+	}
+	w.Created = f.K.Now()
+	h.queue = append(h.queue, w)
+	f.ctr.Injected++
+	f.activate()
+	return nil
+}
+
+// QueueLen returns the number of worms waiting (or in transmission) at the
+// host interface.
+func (f *Fabric) QueueLen(host topology.NodeID) int {
+	h := f.hosts[host]
+	n := len(h.queue)
+	if h.cur != nil {
+		n++
+	}
+	return n
+}
+
+// Busy reports whether the host interface is currently transmitting.
+func (f *Fabric) Busy(host topology.NodeID) bool {
+	h := f.hosts[host]
+	return h.cur != nil || len(h.queue) > 0
+}
+
+func (f *Fabric) activate() {
+	f.K.Activate(f)
+	f.lastMove = f.K.Now()
+}
+
+// Tick advances the fabric one byte-time.  It implements des.Ticker.
+func (f *Fabric) Tick(now des.Time) bool {
+	f.work = false
+	f.moved = false
+
+	// Phase 1: links deliver the flits and control state that have been in
+	// flight for one full propagation delay.
+	for _, l := range f.links {
+		slot := int(now % int64(l.delay))
+		l.stopAtSender = l.ctrl[slot]
+		if l.occ[slot] {
+			f.work = true
+			f.moved = true
+			fl := l.pipe[slot]
+			l.occ[slot] = false
+			l.inFlight--
+			l.pipe[slot] = flit.Flit{}
+			if s := f.sw[l.dstNode]; s != nil {
+				s.in[l.dstPort].receive(fl)
+			} else {
+				f.hosts[l.dstNode].receive(fl, now)
+			}
+		}
+		if l.inFlight > 0 {
+			f.work = true
+		}
+	}
+
+	// Phase 2: switches route worm heads and arbitrate output ports.
+	for _, s := range f.sw {
+		if s == nil {
+			continue
+		}
+		s.route(now)
+	}
+
+	// Phase 3: bound outputs and host interfaces transmit one flit each.
+	for _, s := range f.sw {
+		if s == nil {
+			continue
+		}
+		s.transmit(now)
+	}
+	for _, h := range f.hosts {
+		if h == nil {
+			continue
+		}
+		h.transmit(now)
+	}
+
+	// Phase 4: input ports publish STOP/GO onto the reverse channels.
+	for _, s := range f.sw {
+		if s == nil {
+			continue
+		}
+		for pi := range s.in {
+			in := &s.in[pi]
+			if in.inLink == nil {
+				continue
+			}
+			fill := in.fill
+			switch {
+			case fill >= f.Cfg.StopMark:
+				in.stopWish = true
+			case fill <= f.Cfg.GoMark:
+				in.stopWish = false
+			}
+			in.inLink.ctrl[int(now%int64(in.inLink.delay))] = in.stopWish
+			if fill > 0 || in.mode != pmIdle {
+				f.work = true
+			}
+		}
+		for oi := range s.out {
+			if s.out[oi].boundIn >= 0 {
+				f.work = true
+			}
+		}
+	}
+	for _, h := range f.hosts {
+		if h == nil {
+			continue
+		}
+		if h.cur != nil || len(h.queue) > 0 || h.rx.Worm() != nil {
+			f.work = true
+		}
+	}
+	if f.moved {
+		f.lastMove = now
+	}
+	return f.work
+}
+
+// Stalled reports whether the fabric holds blocked worms that have made no
+// progress for the given number of byte-times — the observable symptom of
+// a wormhole deadlock.
+func (f *Fabric) Stalled(window des.Time) bool {
+	if !f.anythingHeld() {
+		return false
+	}
+	return f.K.Now()-f.lastMove >= window
+}
+
+func (f *Fabric) anythingHeld() bool {
+	for _, s := range f.sw {
+		if s == nil {
+			continue
+		}
+		for pi := range s.in {
+			if s.in[pi].fill > 0 || s.in[pi].mode != pmIdle {
+				return true
+			}
+		}
+	}
+	for _, h := range f.hosts {
+		if h != nil && (h.cur != nil || len(h.queue) > 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,491 @@
+package network
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/route"
+	"wormlan/internal/topology"
+)
+
+// portMode is the routing state of a switch input port.
+type portMode uint8
+
+const (
+	// pmIdle: no worm in progress; the next flit must be a header flit.
+	pmIdle portMode = iota
+	// pmCollect: consuming the multicast tree header, one byte per tick.
+	pmCollect
+	// pmWait: route decoded; waiting to be granted all requested outputs.
+	pmWait
+	// pmBoundUni: streaming a unicast worm to a single output.
+	pmBoundUni
+	// pmBoundMC: streaming a replicated worm to several outputs.
+	pmBoundMC
+	// pmFlush: discarding the remainder of a flushed worm (Backward Reset
+	// under SchemeFlushUnicast).
+	pmFlush
+)
+
+// outPhase is the per-branch transmission phase of a multicast binding.
+type outPhase uint8
+
+const (
+	opFree outPhase = iota
+	// opPrefix: stamping the branch header onto the exiting copy.
+	opPrefix
+	// opPayload: relaying shared payload flits from the input slack.
+	opPayload
+	// opInterrupted: SchemeInterrupt sent a fragment tail on this branch
+	// and released the downstream path; waiting for blocking to cease.
+	opInterrupted
+)
+
+// inPort is a crossbar input with its slack buffer and routing state.
+type inPort struct {
+	f   *Fabric
+	sw  *swState
+	idx int
+
+	// Slack ring buffer (Figure 1).
+	slack []flit.Flit
+	head  int
+	fill  int
+	cap   int
+
+	stopWish bool
+	inLink   *dlink
+
+	mode portMode
+	worm *flit.Worm
+
+	// Multicast header collection parser state.
+	mcBuf       []byte
+	mcSkip      int
+	mcExpectPtr bool
+
+	// Requested/bound outputs and the header to stamp on each branch
+	// (nil for host delivery).
+	reqOuts   []int
+	reqStamps [][]byte
+	outs      []int
+}
+
+func (in *inPort) receive(fl flit.Flit) {
+	if in.fill >= in.cap {
+		panic(fmt.Sprintf("network: slack overflow at switch %d port %d (cap %d): STOP/GO sizing bug",
+			in.sw.node, in.idx, in.cap))
+	}
+	in.slack[(in.head+in.fill)%in.cap] = fl
+	in.fill++
+}
+
+func (in *inPort) peek() flit.Flit { return in.slack[in.head] }
+
+func (in *inPort) pop() flit.Flit {
+	fl := in.slack[in.head]
+	in.slack[in.head] = flit.Flit{}
+	in.head = (in.head + 1) % in.cap
+	in.fill--
+	return fl
+}
+
+// outPort is a crossbar output.
+type outPort struct {
+	link    *dlink
+	boundIn int // input index, -1 when free
+
+	phase     outPhase
+	prefix    []byte // branch header still to stamp
+	prefixPos int
+	stamp     []byte // full branch header, kept for SchemeInterrupt resume
+
+	// idleTicks counts consecutive ticks this output was held by a
+	// multicast worm but transmitted IDLE fill; SchemeFlushUnicast flags
+	// the port 'multicast-IDLE' past Config.IdleFlagTicks.
+	idleTicks int
+}
+
+func (o *outPort) bind(inIdx int, stamp []byte) {
+	o.boundIn = inIdx
+	o.stamp = stamp
+	o.prefix = stamp
+	o.prefixPos = 0
+	o.idleTicks = 0
+	if len(stamp) == 0 {
+		o.phase = opPayload
+	} else {
+		o.phase = opPrefix
+	}
+}
+
+func (o *outPort) unbind() {
+	o.boundIn = -1
+	o.phase = opFree
+	o.prefix = nil
+	o.stamp = nil
+	o.prefixPos = 0
+	o.idleTicks = 0
+}
+
+// swState is the per-switch simulation state.
+type swState struct {
+	node topology.NodeID
+	f    *Fabric
+	in   []inPort
+	out  []outPort
+}
+
+// route advances the head-of-worm state machines of every input port:
+// header consumption, route decoding, and output arbitration.
+func (s *swState) route(now des.Time) {
+	n := len(s.in)
+	if n == 0 {
+		return
+	}
+	// Rotating scan order provides round-robin fairness between inputs
+	// contending for the same outputs.
+	start := int(now % int64(n))
+	for k := 0; k < n; k++ {
+		in := &s.in[(start+k)%n]
+		if in.inLink == nil {
+			continue // unwired port
+		}
+		s.routeInput(in, now)
+	}
+}
+
+func (s *swState) routeInput(in *inPort, now des.Time) {
+	switch in.mode {
+	case pmIdle:
+		if in.fill == 0 {
+			return
+		}
+		fl := in.peek()
+		if fl.Kind != flit.Header {
+			panic(fmt.Sprintf("network: switch %d port %d: worm %d starts with %s flit",
+				s.node, in.idx, fl.W.ID, fl.Kind))
+		}
+		in.worm = fl.W
+		switch fl.W.Mode {
+		case flit.Unicast:
+			b := in.pop()
+			in.reqOuts = []int{int(b.B)}
+			in.reqStamps = [][]byte{nil}
+			in.mode = pmWait
+		case flit.Broadcast:
+			b := in.pop()
+			if b.B == route.BroadcastPort {
+				in.reqOuts, in.reqStamps = s.broadcastBranches(in.idx)
+				if len(in.reqOuts) == 0 {
+					// Leaf switch whose only connection is the arrival
+					// port: the worm dies here; drain it.
+					in.mode = pmFlush
+					return
+				}
+			} else {
+				// Still on the unicast prefix toward the root.
+				in.reqOuts = []int{int(b.B)}
+				in.reqStamps = [][]byte{nil}
+			}
+			in.mode = pmWait
+		case flit.MulticastTree:
+			in.mode = pmCollect
+			in.mcBuf = in.mcBuf[:0]
+			in.mcSkip = 0
+			in.mcExpectPtr = false
+			s.collect(in) // consume the first byte this tick
+			return
+		}
+		if in.mode == pmWait {
+			s.tryGrant(in, now)
+		}
+	case pmCollect:
+		s.collect(in)
+		if in.mode == pmWait {
+			s.tryGrant(in, now)
+		}
+	case pmWait:
+		s.tryGrant(in, now)
+	case pmFlush:
+		// Drain everything available; a Backward Reset clears the path
+		// without per-byte pacing.
+		for in.fill > 0 {
+			fl := in.pop()
+			if fl.Kind == flit.Tail {
+				in.mode = pmIdle
+				in.worm = nil
+				break
+			}
+		}
+	}
+}
+
+// collect consumes one multicast header byte per tick and decodes the
+// branch list when the header is complete.
+func (s *swState) collect(in *inPort) {
+	if in.fill == 0 {
+		return
+	}
+	fl := in.peek()
+	if fl.Kind != flit.Header {
+		panic(fmt.Sprintf("network: switch %d port %d: %s flit inside multicast header of worm %d",
+			s.node, in.idx, fl.Kind, fl.W.ID))
+	}
+	in.pop()
+	b := fl.B
+	in.mcBuf = append(in.mcBuf, b)
+	complete := false
+	switch {
+	case in.mcSkip > 0:
+		in.mcSkip--
+	case in.mcExpectPtr:
+		if b == 0 {
+			panic(fmt.Sprintf("network: zero pointer in multicast header of worm %d", fl.W.ID))
+		}
+		in.mcExpectPtr = false
+		in.mcSkip = int(b) - 1
+	case b == route.End:
+		complete = true
+	default:
+		in.mcExpectPtr = true
+	}
+	if !complete {
+		return
+	}
+	splits, err := route.SplitHeader(in.mcBuf)
+	if err != nil {
+		panic(fmt.Sprintf("network: corrupt multicast header of worm %d: %v", fl.W.ID, err))
+	}
+	in.reqOuts = in.reqOuts[:0]
+	in.reqStamps = in.reqStamps[:0]
+	for _, sp := range splits {
+		stamp := sp.Header
+		if len(stamp) == 1 && stamp[0] == route.End {
+			stamp = nil // host delivery: no header on the exiting copy
+		}
+		in.reqOuts = append(in.reqOuts, int(sp.Port))
+		in.reqStamps = append(in.reqStamps, stamp)
+	}
+	in.mode = pmWait
+}
+
+// broadcastBranches returns the replication set for a broadcast worm that
+// has reached this switch: every attached host and every 'down' spanning-
+// tree link (Section 3's simplified broadcast).  Copies travel strictly
+// down the tree, so no arrival-port exclusion is needed: the link to the
+// parent is an 'up' link here and is never selected, and the flood
+// terminates at the leaves.  Every host receives the broadcast, including
+// the sender.
+func (s *swState) broadcastBranches(arrival int) (outs []int, stamps [][]byte) {
+	ud := s.f.UD
+	g := s.f.G
+	for pi, p := range g.Node(s.node).Ports {
+		if !p.Wired() {
+			continue
+		}
+		if g.Node(p.Peer).Kind == topology.Host {
+			outs = append(outs, pi)
+			stamps = append(stamps, nil)
+			continue
+		}
+		if ud.InTree(s.node, topology.PortID(pi)) && !ud.IsUp(s.node, topology.PortID(pi)) {
+			outs = append(outs, pi)
+			stamps = append(stamps, []byte{route.BroadcastPort})
+		}
+	}
+	return outs, stamps
+}
+
+// tryGrant performs all-or-nothing output arbitration for the input's
+// request.  Granting atomically prevents partial-hold deadlocks between
+// replicating worms within one switch.
+func (s *swState) tryGrant(in *inPort, now des.Time) {
+	free := true
+	for _, oi := range in.reqOuts {
+		if oi >= len(s.out) || s.out[oi].link == nil {
+			panic(fmt.Sprintf("network: worm %d routed to nonexistent port %d of switch %d",
+				in.worm.ID, oi, s.node))
+		}
+		o := &s.out[oi]
+		if o.boundIn >= 0 {
+			free = false
+			// SchemeFlushUnicast: a unicast worm blocked by a port that
+			// has been idle-filling on behalf of a multicast gets flushed
+			// (Backward Reset); the source retransmits after a timeout.
+			if s.f.Cfg.Scheme == SchemeFlushUnicast &&
+				in.worm.Mode == flit.Unicast &&
+				s.in[o.boundIn].mode == pmBoundMC &&
+				o.idleTicks >= s.f.Cfg.IdleFlagTicks {
+				s.flush(in, now)
+				return
+			}
+		}
+	}
+	if !free {
+		return
+	}
+	for i, oi := range in.reqOuts {
+		s.out[oi].bind(in.idx, in.reqStamps[i])
+	}
+	in.outs = append(in.outs[:0], in.reqOuts...)
+	if len(in.outs) == 1 && in.worm.Mode == flit.Unicast {
+		in.mode = pmBoundUni
+	} else {
+		in.mode = pmBoundMC
+	}
+}
+
+// flush discards the worm currently heading the input port and notifies
+// the fabric (SchemeFlushUnicast).
+func (s *swState) flush(in *inPort, now des.Time) {
+	w := in.worm
+	in.mode = pmFlush
+	in.reqOuts = nil
+	in.reqStamps = nil
+	s.f.ctr.Flushed++
+	if s.f.Cfg.OnFlush != nil {
+		s.f.Cfg.OnFlush(w, now)
+	}
+	// Drain whatever has already arrived.
+	for in.fill > 0 {
+		fl := in.pop()
+		if fl.Kind == flit.Tail {
+			in.mode = pmIdle
+			in.worm = nil
+			break
+		}
+	}
+}
+
+// transmit moves one flit per bound output: branch prefixes first, then
+// shared payload gated on every branch being ready (the IDLE-fill rule of
+// Section 3), with SchemeInterrupt's fragment/resume logic layered on top.
+func (s *swState) transmit(now des.Time) {
+	for ii := range s.in {
+		in := &s.in[ii]
+		switch in.mode {
+		case pmBoundUni:
+			o := &s.out[in.outs[0]]
+			if o.link.stopAtSender || in.fill == 0 {
+				continue
+			}
+			fl := in.pop()
+			o.link.send(now, fl)
+			s.f.moved = true
+			s.f.ctr.FlitsCarried++
+			if fl.Kind == flit.Tail {
+				o.unbind()
+				in.mode = pmIdle
+				in.worm = nil
+			}
+		case pmBoundMC:
+			s.transmitMC(in, now)
+		}
+	}
+}
+
+func (s *swState) transmitMC(in *inPort, now des.Time) {
+	// Stage 1: branches still stamping their headers send prefix bytes
+	// independently.  Shared payload cannot advance until every branch has
+	// finished its prefix.
+	anyPrefix := false
+	for _, oi := range in.outs {
+		o := &s.out[oi]
+		if o.phase != opPrefix {
+			continue
+		}
+		anyPrefix = true
+		if !o.link.stopAtSender {
+			b := o.prefix[o.prefixPos]
+			o.prefixPos++
+			o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Header, B: b})
+			s.f.moved = true
+			s.f.ctr.FlitsCarried++
+			if o.prefixPos == len(o.prefix) {
+				o.phase = opPayload
+			}
+		}
+	}
+	if anyPrefix {
+		return
+	}
+	// Stage 2: is any streaming branch backpressured?
+	anyStopped := false
+	for _, oi := range in.outs {
+		o := &s.out[oi]
+		if o.phase == opPayload && o.link.stopAtSender {
+			anyStopped = true
+			break
+		}
+	}
+	if anyStopped {
+		switch s.f.Cfg.Scheme {
+		case SchemeInterrupt:
+			// Non-blocked branches interrupt: emit a fragment tail,
+			// releasing the downstream path, and remember the header for
+			// resumption (Section 3, scheme (b)/(c)).
+			for _, oi := range in.outs {
+				o := &s.out[oi]
+				if o.phase == opPayload && !o.link.stopAtSender {
+					o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Tail})
+					s.f.moved = true
+					s.f.ctr.FlitsCarried++
+					s.f.ctr.Fragments++
+					o.phase = opInterrupted
+				}
+			}
+		default:
+			// IDLE fill: the ready branches hold their ports and transmit
+			// IDLE symbols (modelled as silence).
+			for _, oi := range in.outs {
+				o := &s.out[oi]
+				if o.phase == opPayload && !o.link.stopAtSender {
+					o.idleTicks++
+				}
+			}
+		}
+		return
+	}
+	// Stage 3: blocking has ceased; resume interrupted branches by
+	// re-stamping their stored headers, which costs the prefix bytes again.
+	resumed := false
+	for _, oi := range in.outs {
+		o := &s.out[oi]
+		if o.phase == opInterrupted {
+			o.prefix = o.stamp
+			o.prefixPos = 0
+			if len(o.stamp) == 0 {
+				// Host-delivery branch: nothing to re-stamp.
+				o.phase = opPayload
+			} else {
+				o.phase = opPrefix
+				resumed = true
+			}
+		}
+	}
+	if resumed {
+		return // prefixes flow next tick
+	}
+	// Stage 4: every branch streaming and ready — advance the shared worm.
+	if in.fill == 0 {
+		return
+	}
+	fl := in.pop()
+	for _, oi := range in.outs {
+		o := &s.out[oi]
+		o.link.send(now, fl)
+		o.idleTicks = 0
+		s.f.ctr.FlitsCarried++
+	}
+	s.f.moved = true
+	if fl.Kind == flit.Tail {
+		for _, oi := range in.outs {
+			s.out[oi].unbind()
+		}
+		in.mode = pmIdle
+		in.worm = nil
+		in.outs = in.outs[:0]
+	}
+}

@@ -1,0 +1,291 @@
+// Package sim composes the full simulation stack — topology, up/down
+// routing, byte-level fabric, host-adapter multicast protocol, Poisson
+// traffic, and statistics — into single-call experiments, reproducing the
+// setup of Section 7 of the paper.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/stats"
+	"wormlan/internal/switchmc"
+	"wormlan/internal/topology"
+	"wormlan/internal/traffic"
+	"wormlan/internal/updown"
+)
+
+// Scheme is a named multicast protocol configuration from the paper's
+// evaluation.
+type Scheme struct {
+	Name       string
+	Mode       adapter.Mode
+	CutThrough bool
+	// SwitchLevel selects fabric replication (Section 3, scheme A with
+	// tree-restricted routing) instead of host-adapter forwarding.
+	SwitchLevel bool
+}
+
+// The schemes compared in Figures 10 and 11.
+var (
+	// HamiltonianSF: Hamiltonian circuit with store-and-forward at each
+	// node (the only option on real Myrinet hardware).
+	HamiltonianSF = Scheme{Name: "hamiltonian", Mode: adapter.ModeCircuit}
+	// HamiltonianCT: Hamiltonian circuit with immediate cut-through when
+	// the output port is available.
+	HamiltonianCT = Scheme{Name: "hamiltonian-cut-thru", Mode: adapter.ModeCircuit, CutThrough: true}
+	// TreeSF: rooted tree with store-and-forward.
+	TreeSF = Scheme{Name: "tree", Mode: adapter.ModeTreeRooted}
+	// TreeCT: rooted tree with cut-through.
+	TreeCT = Scheme{Name: "tree-cut-thru", Mode: adapter.ModeTreeRooted, CutThrough: true}
+	// TreeFlood: flood-from-originator tree (unordered, lowest latency).
+	TreeFlood = Scheme{Name: "tree-flood", Mode: adapter.ModeTreeFlood}
+	// SwitchFabric: replication inside the crossbar switches with all
+	// traffic restricted to the up/down spanning tree (Section 3).
+	SwitchFabric = Scheme{Name: "switch-fabric", SwitchLevel: true}
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Graph is the topology under test.
+	Graph *topology.Graph
+	// Scheme selects the multicast protocol.
+	Scheme Scheme
+	// TotalOrdering serializes circuit multicasts via the lowest-ID member.
+	TotalOrdering bool
+
+	// OfferedLoad is the generated output-link utilization per host.
+	OfferedLoad float64
+	// MulticastProb is the probability a generated worm is multicast.
+	MulticastProb float64
+	// MeanWorm is the mean worm length in bytes (default 400).
+	MeanWorm int
+
+	// NumGroups random groups of GroupSize members each.
+	NumGroups, GroupSize int
+	// Groups, when non-nil, supplies explicit group memberships keyed by
+	// group ID (e.g. from a configuration file) instead of random
+	// assignment.
+	Groups map[int][]topology.NodeID
+
+	// Warmup is discarded; Measure is the sample window; Drain bounds how
+	// long the run may continue past generation stop to let in-flight
+	// worms land (default Measure/2).
+	Warmup, Measure, Drain des.Time
+
+	// Seed makes the whole run reproducible.
+	Seed uint64
+
+	// Adapter overrides the adapter protocol defaults (Mode/CutThrough
+	// fields are overwritten from Scheme).
+	Adapter adapter.Config
+	// Network overrides the fabric defaults.
+	Network network.Config
+}
+
+// Results aggregates one run's measurements.
+type Results struct {
+	Config Config
+
+	// MCLatency is the per-destination multicast latency (delivery time
+	// minus origination time), over deliveries created in the window.
+	MCLatency stats.Welford
+	// UniLatency is unicast end-to-end latency over the window.
+	UniLatency stats.Welford
+	// AllLatency combines both (the "delay" of Figure 11).
+	AllLatency stats.Welford
+
+	// MCDeliveries / UniDeliveries count window deliveries.
+	MCDeliveries, UniDeliveries int64
+	// ThroughputPerHost is delivered payload bytes per byte-time per host
+	// over the window (includes multicast copies).
+	ThroughputPerHost float64
+
+	// GeneratedWorms / GeneratedMC count worms created by the generator.
+	GeneratedWorms, GeneratedMC int64
+
+	Adapter adapter.Stats
+	Fabric  network.Counters
+
+	// Stalled is set when worms remained frozen in the fabric at the end
+	// of the run — the observable symptom of a deadlock.
+	Stalled bool
+	// EndTime is the simulation time at which the run stopped.
+	EndTime des.Time
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Results, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if cfg.MeanWorm == 0 {
+		cfg.MeanWorm = 400
+	}
+	if cfg.Measure == 0 {
+		return nil, fmt.Errorf("sim: zero measure window")
+	}
+	if cfg.Drain == 0 {
+		cfg.Drain = cfg.Measure / 2
+	}
+	k := des.NewKernel()
+	ud, err := updown.New(cfg.Graph, topology.None)
+	if err != nil {
+		return nil, err
+	}
+	table, err := ud.NewTable(false)
+	if err != nil {
+		return nil, err
+	}
+	fab, err := network.New(k, cfg.Graph, ud, cfg.Network)
+	if err != nil {
+		return nil, err
+	}
+	hosts := cfg.Graph.Hosts()
+	res := &Results{Config: cfg}
+	windowStart := cfg.Warmup
+	windowEnd := cfg.Warmup + cfg.Measure
+	var windowBytes int64
+	recordMC := func(created, now des.Time, payload int) {
+		if created >= windowStart && created < windowEnd {
+			lat := float64(now - created)
+			res.MCLatency.Add(lat)
+			res.AllLatency.Add(lat)
+			res.MCDeliveries++
+		}
+		if now >= windowStart && now < windowEnd {
+			windowBytes += int64(payload)
+		}
+	}
+	recordUni := func(created, now des.Time, payload int) {
+		if created >= windowStart && created < windowEnd {
+			lat := float64(now - created)
+			res.UniLatency.Add(lat)
+			res.AllLatency.Add(lat)
+			res.UniDeliveries++
+		}
+		if now >= windowStart && now < windowEnd {
+			windowBytes += int64(payload)
+		}
+	}
+
+	type groupDef struct {
+		id  int
+		set []topology.NodeID
+	}
+	var groupDefs []groupDef
+	var groupsOf map[topology.NodeID][]int
+	switch {
+	case cfg.Groups != nil:
+		groupsOf = make(map[topology.NodeID][]int)
+		ids := make([]int, 0, len(cfg.Groups))
+		for id := range cfg.Groups {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			groupDefs = append(groupDefs, groupDef{id, cfg.Groups[id]})
+			for _, h := range cfg.Groups[id] {
+				groupsOf[h] = append(groupsOf[h], id)
+			}
+		}
+	case cfg.NumGroups > 0:
+		ms, gof, err := traffic.AssignGroups(hosts, cfg.NumGroups, cfg.GroupSize, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for gi, set := range ms {
+			groupDefs = append(groupDefs, groupDef{gi, set})
+		}
+		groupsOf = gof
+	}
+
+	var sink traffic.Sink
+	var sys *adapter.System
+	if cfg.Scheme.SwitchLevel {
+		swsys, err := switchmc.New(k, fab, ud, switchmc.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, gd := range groupDefs {
+			grp, err := multicast.NewGroup(gd.id, gd.set)
+			if err != nil {
+				return nil, err
+			}
+			if err := swsys.AddGroup(grp); err != nil {
+				return nil, err
+			}
+		}
+		swsys.OnDeliver = func(d switchmc.Delivery) {
+			if d.Multicast {
+				recordMC(d.Worm.Created, d.At, d.Worm.PayloadLen)
+			} else {
+				recordUni(d.Worm.Created, d.At, d.Worm.PayloadLen)
+			}
+		}
+		sink = swsys
+	} else {
+		acfg := cfg.Adapter
+		acfg.Mode = cfg.Scheme.Mode
+		acfg.CutThrough = cfg.Scheme.CutThrough
+		acfg.TotalOrdering = cfg.TotalOrdering
+		sys = adapter.NewSystem(k, fab, table, acfg, cfg.Seed)
+		for _, gd := range groupDefs {
+			grp, err := multicast.NewGroup(gd.id, gd.set)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sys.AddGroup(grp); err != nil {
+				return nil, err
+			}
+		}
+		sys.OnAppDeliver = func(d adapter.AppDelivery) {
+			if d.Transfer != nil {
+				recordMC(d.Transfer.Created, d.At, d.Transfer.Payload)
+			} else {
+				recordUni(d.Worm.Created, d.At, d.Worm.PayloadLen)
+			}
+		}
+		sink = sys
+	}
+
+	gen, err := traffic.New(k, traffic.Config{
+		OfferedLoad:   cfg.OfferedLoad,
+		MeanWorm:      cfg.MeanWorm,
+		MulticastProb: cfg.MulticastProb,
+		Until:         windowEnd,
+	}, hosts, groupsOf, sink, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	gen.Start()
+
+	if err := k.Run(windowEnd + cfg.Drain); err != nil {
+		return nil, err
+	}
+	if gen.Err() != nil {
+		return nil, gen.Err()
+	}
+	res.GeneratedWorms, res.GeneratedMC, _ = gen.Generated()
+	res.ThroughputPerHost = float64(windowBytes) / float64(cfg.Measure) / float64(len(hosts))
+	if sys != nil {
+		res.Adapter = sys.Stats()
+	}
+	res.Fabric = fab.Counters()
+	res.Stalled = fab.Stalled(10 * des.Time(cfg.MeanWorm))
+	res.EndTime = k.Now()
+	return res, nil
+}
+
+// String summarizes a result row (one line per load point, the shape of
+// the paper's figures).
+func (r *Results) String() string {
+	return fmt.Sprintf("%-22s load=%.3f pMC=%.2f mcLat=%8.0f uniLat=%8.0f thpt=%.4f nMC=%d nUni=%d",
+		r.Config.Scheme.Name, r.Config.OfferedLoad, r.Config.MulticastProb,
+		r.MCLatency.Mean(), r.UniLatency.Mean(), r.ThroughputPerHost,
+		r.MCDeliveries, r.UniDeliveries)
+}

@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+func smallConfig(scheme Scheme, load float64) Config {
+	return Config{
+		Graph:         topology.Torus(3, 3, 1, 1),
+		Scheme:        scheme,
+		OfferedLoad:   load,
+		MulticastProb: 0.1,
+		NumGroups:     2,
+		GroupSize:     4,
+		Warmup:        20_000,
+		Measure:       120_000,
+		Seed:          11,
+	}
+}
+
+func TestRunProducesSamples(t *testing.T) {
+	r, err := Run(smallConfig(HamiltonianSF, 0.06))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MCDeliveries == 0 || r.UniDeliveries == 0 {
+		t.Fatalf("no samples: %+v", r)
+	}
+	if r.MCLatency.Mean() <= 0 || r.UniLatency.Mean() <= 0 {
+		t.Fatalf("latencies: mc=%v uni=%v", r.MCLatency.Mean(), r.UniLatency.Mean())
+	}
+	if r.ThroughputPerHost <= 0 {
+		t.Fatal("no throughput")
+	}
+	if r.Stalled {
+		t.Fatal("run stalled")
+	}
+	if r.Adapter.GiveUps != 0 {
+		t.Fatalf("protocol gave up: %+v", r.Adapter)
+	}
+	if r.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig(TreeSF, 0.06))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(TreeSF, 0.06))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MCLatency.Mean() != b.MCLatency.Mean() || a.MCDeliveries != b.MCDeliveries ||
+		a.Fabric != b.Fabric {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	lo, err := Run(smallConfig(HamiltonianSF, 0.03))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(smallConfig(HamiltonianSF, 0.16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MCLatency.Mean() <= lo.MCLatency.Mean() {
+		t.Fatalf("multicast latency did not grow with load: %.0f -> %.0f",
+			lo.MCLatency.Mean(), hi.MCLatency.Mean())
+	}
+}
+
+func TestSwitchFabricScheme(t *testing.T) {
+	r, err := Run(smallConfig(SwitchFabric, 0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MCDeliveries == 0 || r.UniDeliveries == 0 {
+		t.Fatalf("no deliveries: %v", r)
+	}
+	if r.Stalled {
+		t.Fatal("switch-level run stalled")
+	}
+	// Crossbar replication skips per-hop reassembly entirely: multicast
+	// latency should beat the store-and-forward adapter tree.
+	tree, err := Run(smallConfig(TreeSF, 0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MCLatency.Mean() >= tree.MCLatency.Mean() {
+		t.Fatalf("switch-level mc latency %.0f not below adapter tree %.0f",
+			r.MCLatency.Mean(), tree.MCLatency.Mean())
+	}
+}
+
+func TestAllSchemesComplete(t *testing.T) {
+	for _, s := range []Scheme{HamiltonianSF, HamiltonianCT, TreeSF, TreeCT, TreeFlood, SwitchFabric} {
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := Run(smallConfig(s, 0.05))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.MCDeliveries == 0 {
+				t.Fatal("no multicast deliveries")
+			}
+			if r.Stalled {
+				t.Fatal("stalled")
+			}
+		})
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	cfg := smallConfig(TreeSF, 0.05)
+	cfg.Measure = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	cfg = smallConfig(TreeSF, 0.05)
+	cfg.GroupSize = 100
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("oversized groups accepted")
+	}
+}
+
+func TestExplicitGroupsFromConfig(t *testing.T) {
+	// The paper's simulator takes groups from the same configuration file
+	// as the topology; sim.Config.Groups is that path.
+	g, groups, err := topology.ParseConfig(strings.NewReader(`
+switch s0
+switch s1
+host h0 s0
+host h1 s0
+host h2 s1
+host h3 s1
+link s0 s1
+group 7 h0 h2 h3
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(Config{
+		Graph:         g,
+		Scheme:        TreeFlood,
+		OfferedLoad:   0.05,
+		MulticastProb: 0.4,
+		Groups:        groups,
+		Warmup:        10_000,
+		Measure:       80_000,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MCDeliveries == 0 {
+		t.Fatal("explicit group carried no multicast")
+	}
+	if r.Stalled {
+		t.Fatal("stalled")
+	}
+}
+
+func TestTotalOrderingRun(t *testing.T) {
+	cfg := smallConfig(HamiltonianSF, 0.05)
+	cfg.TotalOrdering = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MCDeliveries == 0 || r.Stalled {
+		t.Fatalf("ordered run: %v", r)
+	}
+}

@@ -1,0 +1,150 @@
+// Package stats provides the small set of statistics collectors the
+// simulation experiments need: streaming mean/variance (Welford), min/max,
+// a fixed-size reservoir for quantiles, and windowed rate counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wormlan/internal/rng"
+)
+
+// Welford accumulates a streaming mean and variance.
+type Welford struct {
+	n          int64
+	mean, m2   float64
+	min, max   float64
+	hasExtrema bool
+}
+
+// Add records one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+	if !w.hasExtrema || x < w.min {
+		w.min = x
+	}
+	if !w.hasExtrema || x > w.max {
+		w.max = x
+	}
+	w.hasExtrema = true
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the unbiased sample variance.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min and Max return the extrema (0 with no samples).
+func (w *Welford) Min() float64 {
+	if !w.hasExtrema {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation.
+func (w *Welford) Max() float64 {
+	if !w.hasExtrema {
+		return 0
+	}
+	return w.max
+}
+
+// String formats mean +/- std (n).
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.1f±%.1f (n=%d)", w.Mean(), w.Std(), w.n)
+}
+
+// Reservoir keeps a uniform random sample of a stream for quantile
+// estimates (Vitter's algorithm R, deterministic under the given source).
+type Reservoir struct {
+	cap    int
+	seen   int64
+	sample []float64
+	r      *rng.Source
+}
+
+// NewReservoir returns a reservoir holding up to capacity samples.
+func NewReservoir(capacity int, seed uint64) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, r: rng.New(seed, 0x5A)}
+}
+
+// Add records one observation.
+func (rv *Reservoir) Add(x float64) {
+	rv.seen++
+	if len(rv.sample) < rv.cap {
+		rv.sample = append(rv.sample, x)
+		return
+	}
+	if j := rv.r.Intn(int(rv.seen)); j < rv.cap {
+		rv.sample[j] = x
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sampled stream, or
+// 0 when empty.
+func (rv *Reservoir) Quantile(q float64) float64 {
+	if len(rv.sample) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), rv.sample...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// N returns how many observations were offered.
+func (rv *Reservoir) N() int64 { return rv.seen }
+
+// Rate measures a quantity accumulated over a time window.
+type Rate struct {
+	total       float64
+	start, stop int64
+}
+
+// NewRate returns a rate counter over [start, stop] (byte-times).
+func NewRate(start, stop int64) *Rate {
+	if stop <= start {
+		panic("stats: empty rate window")
+	}
+	return &Rate{start: start, stop: stop}
+}
+
+// Add accumulates amount if t falls inside the window.
+func (r *Rate) Add(t int64, amount float64) {
+	if t >= r.start && t <= r.stop {
+		r.total += amount
+	}
+}
+
+// Total returns the accumulated amount.
+func (r *Rate) Total() float64 { return r.total }
+
+// PerTime returns the accumulated amount divided by the window length.
+func (r *Rate) PerTime() float64 { return r.total / float64(r.stop-r.start) }

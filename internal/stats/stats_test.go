@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wormlan/internal/rng"
+)
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if math.Abs(w.Var()-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v", w.Var())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("extrema %v %v", w.Min(), w.Max())
+	}
+	if w.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("empty collector not zero")
+	}
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 2
+		r := rng.New(seed, 1)
+		var w Welford
+		var xs []float64
+		for i := 0; i < n; i++ {
+			x := r.Float64()*1000 - 500
+			xs = append(xs, x)
+			w.Add(x)
+		}
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return math.Abs(w.Mean()-mean) < 1e-9 && math.Abs(w.Var()-ss/float64(n-1)) < 1e-6
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservoirSmallStream(t *testing.T) {
+	rv := NewReservoir(100, 7)
+	for i := 1; i <= 10; i++ {
+		rv.Add(float64(i))
+	}
+	if rv.N() != 10 {
+		t.Fatalf("N = %d", rv.N())
+	}
+	if rv.Quantile(0) != 1 || rv.Quantile(1) != 10 {
+		t.Fatalf("quantiles %v %v", rv.Quantile(0), rv.Quantile(1))
+	}
+	if q := rv.Quantile(0.5); q < 5 || q > 6 {
+		t.Fatalf("median %v", q)
+	}
+}
+
+func TestReservoirLargeStreamApproximatesQuantiles(t *testing.T) {
+	rv := NewReservoir(2000, 9)
+	r := rng.New(3, 3)
+	for i := 0; i < 100000; i++ {
+		rv.Add(r.Float64())
+	}
+	if q := rv.Quantile(0.9); math.Abs(q-0.9) > 0.05 {
+		t.Fatalf("p90 = %v", q)
+	}
+	if q := rv.Quantile(0.1); math.Abs(q-0.1) > 0.05 {
+		t.Fatalf("p10 = %v", q)
+	}
+}
+
+func TestReservoirEmptyAndBadCapacity(t *testing.T) {
+	rv := NewReservoir(4, 1)
+	if rv.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir quantile")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewReservoir(0, 1)
+}
+
+func TestRateWindow(t *testing.T) {
+	r := NewRate(100, 200)
+	r.Add(50, 10)  // before window
+	r.Add(100, 5)  // boundary in
+	r.Add(150, 5)  // in
+	r.Add(200, 5)  // boundary in
+	r.Add(201, 99) // after
+	if r.Total() != 15 {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if r.PerTime() != 0.15 {
+		t.Fatalf("PerTime = %v", r.PerTime())
+	}
+}
+
+func TestRateBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty window accepted")
+		}
+	}()
+	NewRate(5, 5)
+}

@@ -1,0 +1,220 @@
+// Package switchmc implements multicast in the switching fabric (Section 3
+// of the paper): the worm itself is replicated inside the crossbar
+// switches, guided by the linearized tree header of Figure 2, instead of
+// being forwarded by host adapters.
+//
+// Deadlock discipline: replicating worms introduce flow-control
+// dependencies between tree branches, so up/down routing alone is not
+// sufficient (Figure 3).  The paper's scheme A restricts *all* worms —
+// unicast too — to the links of the up/down spanning tree; crosslinks go
+// unused.  That is this package's safe default.  Config.UnrestrictedRoutes
+// disables the restriction to reproduce the Figure 3 deadlock in demos and
+// tests; production use should leave it off or select the fabric's
+// interrupt/flush schemes (network.Config.Scheme).
+//
+// The package also provides the broadcast special case: a unicast prefix
+// to the up/down root followed by the broadcast pseudo-port, flooded down
+// the spanning tree by the switches themselves.
+package switchmc
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/route"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// Config parameterizes the switch-level multicast system.
+type Config struct {
+	// UnrestrictedRoutes lifts the spanning-tree route restriction.
+	// Multicast worms can then deadlock against unicast worms exactly as
+	// in Figure 3 — only enable this to study that failure mode, or in
+	// combination with a fabric-level scheme that handles it.
+	UnrestrictedRoutes bool
+}
+
+// Delivery reports one completed worm at a host.
+type Delivery struct {
+	Worm      *flit.Worm
+	Host      topology.NodeID
+	At        des.Time
+	Multicast bool
+}
+
+// System injects unicast and switch-replicated multicast worms.  It
+// implements the traffic generator's sink interface.
+type System struct {
+	K   *des.Kernel
+	F   *network.Fabric
+	UD  *updown.Routing
+	Cfg Config
+
+	// OnDeliver is invoked per completed worm per destination host.
+	OnDeliver func(d Delivery)
+
+	table *updown.Table
+	// headers caches the encoded multicast header per (group, source).
+	headers map[int]map[topology.NodeID][]byte
+	// members caches group membership for delivery accounting.
+	members map[int]*multicast.Group
+	// rootPrefix caches each host's unicast route to the up/down root.
+	rootPrefix map[topology.NodeID][]topology.PortID
+	nextID     int64
+}
+
+// New builds the system over an existing fabric.  It takes ownership of
+// the fabric's OnDeliver callback.
+func New(k *des.Kernel, f *network.Fabric, ud *updown.Routing, cfg Config) (*System, error) {
+	table, err := ud.NewTable(!cfg.UnrestrictedRoutes)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		K: k, F: f, UD: ud, Cfg: cfg,
+		table:      table,
+		headers:    make(map[int]map[topology.NodeID][]byte),
+		members:    make(map[int]*multicast.Group),
+		rootPrefix: make(map[topology.NodeID][]topology.PortID),
+	}
+	f.Cfg.OnDeliver = s.onDeliver
+	return s, nil
+}
+
+func (s *System) onDeliver(d network.Delivery) {
+	if s.OnDeliver == nil {
+		return
+	}
+	s.OnDeliver(Delivery{
+		Worm: d.Worm, Host: d.Host, At: d.At,
+		Multicast: d.Worm.Mode != flit.Unicast,
+	})
+}
+
+// AddGroup precomputes, for every member, the multicast tree header that
+// reaches all other members — the source route a sending host stamps on
+// its multicast worms.
+func (s *System) AddGroup(g *multicast.Group) error {
+	if _, dup := s.headers[g.ID]; dup {
+		return fmt.Errorf("switchmc: duplicate group %d", g.ID)
+	}
+	perSrc := make(map[topology.NodeID][]byte, len(g.Members))
+	for _, src := range g.Members {
+		var routes []updown.Route
+		for _, dst := range g.Members {
+			if dst == src {
+				continue
+			}
+			routes = append(routes, s.table.Lookup(src, dst))
+		}
+		tree, err := route.BuildTree(routes)
+		if err != nil {
+			return fmt.Errorf("switchmc: group %d source %d: %w", g.ID, src, err)
+		}
+		hdr, err := route.Encode(tree)
+		if err != nil {
+			return fmt.Errorf("switchmc: group %d source %d: %w", g.ID, src, err)
+		}
+		perSrc[src] = hdr
+	}
+	s.headers[g.ID] = perSrc
+	s.members[g.ID] = g
+	return nil
+}
+
+// SendUnicast injects one unicast worm (background traffic).
+func (s *System) SendUnicast(src, dst topology.NodeID, payload int) error {
+	rt := s.table.Lookup(src, dst)
+	hdr, err := route.EncodeUnicast(rt.Ports)
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	return s.F.Inject(src, &flit.Worm{
+		ID: s.nextID, Src: src, Dst: dst, Mode: flit.Unicast,
+		Group: -1, Header: hdr, PayloadLen: payload,
+	})
+}
+
+// SendMulticast injects one switch-replicated multicast worm from src to
+// all other members of the group.
+func (s *System) SendMulticast(src topology.NodeID, group, payload int) error {
+	perSrc, ok := s.headers[group]
+	if !ok {
+		return fmt.Errorf("switchmc: unknown group %d", group)
+	}
+	hdr, ok := perSrc[src]
+	if !ok {
+		return fmt.Errorf("switchmc: host %d not in group %d", src, group)
+	}
+	s.nextID++
+	return s.F.Inject(src, &flit.Worm{
+		ID: s.nextID, Src: src, Dst: topology.None, Mode: flit.MulticastTree,
+		Group: group, Header: hdr, PayloadLen: payload,
+	})
+}
+
+// GroupSize returns the number of members of a group (0 if unknown), for
+// delivery accounting.
+func (s *System) GroupSize(group int) int {
+	g := s.members[group]
+	if g == nil {
+		return 0
+	}
+	return len(g.Members)
+}
+
+// SendBroadcast injects a broadcast worm: a unicast prefix from the
+// source's switch up to the up/down root, then the broadcast pseudo-port,
+// flooded down the spanning tree by the switches (Section 3).  Every host
+// in the LAN receives a copy, including the sender.
+func (s *System) SendBroadcast(src topology.NodeID, payload int) error {
+	prefix, err := s.prefixToRoot(src)
+	if err != nil {
+		return err
+	}
+	hdr, err := route.Broadcast(prefix)
+	if err != nil {
+		return err
+	}
+	s.nextID++
+	return s.F.Inject(src, &flit.Worm{
+		ID: s.nextID, Src: src, Dst: topology.None, Mode: flit.Broadcast,
+		Group: -1, Header: hdr, PayloadLen: payload,
+	})
+}
+
+// prefixToRoot returns the output ports from the host's switch up the
+// spanning tree to the root.
+func (s *System) prefixToRoot(src topology.NodeID) ([]topology.PortID, error) {
+	if cached, ok := s.rootPrefix[src]; ok {
+		return cached, nil
+	}
+	g := s.F.G
+	sw, _ := g.HostAttachment(src)
+	var prefix []topology.PortID
+	for sw != s.UD.Root {
+		parent := s.UD.Parent[sw]
+		if parent == topology.None {
+			return nil, fmt.Errorf("switchmc: switch %d has no path to root", sw)
+		}
+		port := topology.NoPort
+		for pi, p := range g.Node(sw).Ports {
+			if p.Wired() && p.Peer == parent && s.UD.InTree(sw, topology.PortID(pi)) {
+				port = topology.PortID(pi)
+				break
+			}
+		}
+		if port == topology.NoPort {
+			return nil, fmt.Errorf("switchmc: no tree port from %d to parent %d", sw, parent)
+		}
+		prefix = append(prefix, port)
+		sw = parent
+	}
+	s.rootPrefix[src] = prefix
+	return prefix, nil
+}

@@ -1,0 +1,246 @@
+package switchmc
+
+import (
+	"testing"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+type bed struct {
+	k   *des.Kernel
+	g   *topology.Graph
+	sys *System
+
+	byHost map[topology.NodeID][]Delivery
+}
+
+func newBed(t *testing.T, g *topology.Graph, netCfg network.Config, cfg Config) *bed {
+	t.Helper()
+	b := &bed{k: des.NewKernel(), g: g, byHost: map[topology.NodeID][]Delivery{}}
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := network.New(b.k, g, ud, netCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(b.k, f, ud, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.OnDeliver = func(d Delivery) { b.byHost[d.Host] = append(b.byHost[d.Host], d) }
+	b.sys = sys
+	return b
+}
+
+func (b *bed) addGroup(t *testing.T, id int, members []topology.NodeID) {
+	t.Helper()
+	grp, err := multicast.NewGroup(id, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.sys.AddGroup(grp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwitchMulticastReachesAllMembers(t *testing.T) {
+	for name, g := range map[string]*topology.Graph{
+		"torus":   topology.Torus(4, 4, 1, 1),
+		"fattree": topology.FatTreeish(4, 2, true),
+		"myrinet": topology.Myrinet4(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			b := newBed(t, g, network.Config{}, Config{})
+			hosts := g.Hosts()
+			members := []topology.NodeID{hosts[0], hosts[2], hosts[3], hosts[5]}
+			b.addGroup(t, 1, members)
+			if err := b.sys.SendMulticast(hosts[2], 1, 300); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.k.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range members {
+				if m == hosts[2] {
+					if len(b.byHost[m]) != 0 {
+						t.Fatalf("source received its own fabric copy")
+					}
+					continue
+				}
+				if len(b.byHost[m]) != 1 || !b.byHost[m][0].Multicast {
+					t.Fatalf("member %d deliveries %v", m, b.byHost[m])
+				}
+			}
+			if b.sys.GroupSize(1) != 4 {
+				t.Fatalf("group size %d", b.sys.GroupSize(1))
+			}
+		})
+	}
+}
+
+func TestSwitchMulticastLowerLatencyThanSequential(t *testing.T) {
+	// Fabric replication delivers all copies in one worm time; even the
+	// earliest copy of an adapter-based circuit needs a second worm time
+	// for its first forward.  Compare the spread of delivery times: the
+	// fabric's copies land within a propagation spread, not a worm-time
+	// spread.
+	g := topology.Star(6)
+	b := newBed(t, g, network.Config{}, Config{})
+	hosts := g.Hosts()
+	b.addGroup(t, 1, hosts)
+	if err := b.sys.SendMulticast(hosts[0], 1, 1000); err != nil {
+		t.Fatal(err)
+	}
+	b.k.Run(0)
+	var min, max des.Time
+	first := true
+	for _, ds := range b.byHost {
+		for _, d := range ds {
+			if first || d.At < min {
+				min = d.At
+			}
+			if first || d.At > max {
+				max = d.At
+			}
+			first = false
+		}
+	}
+	if max-min > 10 {
+		t.Fatalf("crossbar replication spread %d byte-times; copies should be near-simultaneous", max-min)
+	}
+}
+
+func TestUnicastRestrictedToTree(t *testing.T) {
+	// With the scheme A discipline, unicast traffic avoids crosslinks: on
+	// the fat tree with crosslinks, all routes go through the root, so
+	// both unicast and multicast complete and stay deadlock-free.
+	g := topology.FatTreeish(4, 2, true)
+	b := newBed(t, g, network.Config{StopMark: 8, GoMark: 4}, Config{})
+	hosts := g.Hosts()
+	b.addGroup(t, 1, hosts[:5])
+	for i := 0; i < 4; i++ {
+		if err := b.sys.SendUnicast(hosts[i], hosts[7-i], 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.sys.SendMulticast(hosts[0], 1, 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ds := range b.byHost {
+		total += len(ds)
+	}
+	if total != 4+4 { // 4 unicasts + 4 multicast copies
+		t.Fatalf("deliveries %d", total)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	g := topology.Star(4)
+	b := newBed(t, g, network.Config{}, Config{})
+	hosts := g.Hosts()
+	b.addGroup(t, 1, hosts[:3])
+	if err := b.sys.SendMulticast(hosts[0], 9, 100); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if err := b.sys.SendMulticast(hosts[3], 1, 100); err == nil {
+		t.Fatal("non-member source accepted")
+	}
+	grp, _ := multicast.NewGroup(1, hosts)
+	if err := b.sys.AddGroup(grp); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if b.sys.GroupSize(42) != 0 {
+		t.Fatal("unknown group size")
+	}
+}
+
+func TestBroadcastFromEveryHost(t *testing.T) {
+	g := topology.FatTreeish(3, 2, false)
+	hosts := g.Hosts()
+	for _, src := range hosts {
+		b := newBed(t, g, network.Config{}, Config{})
+		if err := b.sys.SendBroadcast(src, 123); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hosts {
+			if len(b.byHost[h]) != 1 {
+				t.Fatalf("broadcast from %d: host %d got %d copies", src, h, len(b.byHost[h]))
+			}
+			if b.byHost[h][0].Worm.Mode != flit.Broadcast {
+				t.Fatal("wrong mode")
+			}
+		}
+	}
+}
+
+func TestUnrestrictedRoutesUseShorterPaths(t *testing.T) {
+	// Lifting the tree restriction restores crosslink shortcuts: unicast
+	// latency on the crosslinked fat tree drops.
+	lat := func(unrestricted bool) des.Time {
+		g := topology.FatTreeish(2, 1, true) // root, 2 spines + crosslink
+		b := newBed(t, g, network.Config{}, Config{UnrestrictedRoutes: unrestricted})
+		hosts := g.Hosts()
+		if err := b.sys.SendUnicast(hosts[0], hosts[1], 100); err != nil {
+			t.Fatal(err)
+		}
+		b.k.Run(0)
+		return b.byHost[hosts[1]][0].At
+	}
+	free := lat(true)
+	restricted := lat(false)
+	if free >= restricted {
+		t.Fatalf("crosslink shortcut did not help: free=%d restricted=%d", free, restricted)
+	}
+}
+
+func TestFigure3DeadlockWithUnrestrictedRoutes(t *testing.T) {
+	// The negative control behind scheme A's route restriction: with
+	// unrestricted routes, a blocked multicast holding an IDLE-filled
+	// branch and a unicast crossing it can deadlock (Figure 3).  We build
+	// heavy crossing traffic on a crosslinked topology and require only
+	// that the restricted variant never stalls; the unrestricted one is
+	// allowed to (and typically does under this pattern).
+	run := func(unrestricted bool) (stalled bool, delivered int) {
+		g := topology.FatTreeish(4, 2, true)
+		b := newBed(t, g, network.Config{StopMark: 8, GoMark: 4},
+			Config{UnrestrictedRoutes: unrestricted})
+		hosts := g.Hosts()
+		b.addGroup(t, 1, []topology.NodeID{hosts[0], hosts[3], hosts[5], hosts[6]})
+		b.addGroup(t, 2, []topology.NodeID{hosts[1], hosts[2], hosts[4], hosts[7]})
+		for i := 0; i < 3; i++ {
+			b.sys.SendMulticast(hosts[0], 1, 600)
+			b.sys.SendMulticast(hosts[1], 2, 600)
+			for j := 0; j < len(hosts); j++ {
+				b.sys.SendUnicast(hosts[j], hosts[(j+3)%len(hosts)], 400)
+			}
+		}
+		b.k.Run(400_000)
+		total := 0
+		for _, ds := range b.byHost {
+			total += len(ds)
+		}
+		return b.sys.F.Stalled(5_000), total
+	}
+	stalledRestricted, deliveredRestricted := run(false)
+	if stalledRestricted {
+		t.Fatal("tree-restricted scheme A stalled")
+	}
+	wantDeliveries := 3 * (3 + 3 + 8) // per round: 3+3 mc copies, 8 unicasts
+	if deliveredRestricted != wantDeliveries {
+		t.Fatalf("restricted run delivered %d, want %d", deliveredRestricted, wantDeliveries)
+	}
+}

@@ -1,0 +1,264 @@
+package topology
+
+import (
+	"fmt"
+
+	"wormlan/internal/rng"
+)
+
+// Torus builds a rows x cols torus of switches, each with hostsPerSwitch
+// hosts attached.  The paper's Figure 10 experiment uses an 8x8 torus with
+// one host per switch (64 hosts).  Inter-switch links get linkDelay
+// byte-times of propagation (0 means 1); host links always get delay 1.
+//
+// Port layout per switch: inter-switch ports are assigned in the order the
+// links are created (row rings first, then column rings), followed by the
+// host ports.  The layout is deterministic, so source routes are stable
+// across runs.
+func Torus(rows, cols, hostsPerSwitch int, linkDelay int64) *Graph {
+	if rows < 2 || cols < 2 {
+		panic("topology: torus needs rows, cols >= 2")
+	}
+	if linkDelay == 0 {
+		linkDelay = 1
+	}
+	g := New()
+	sw := make([][]NodeID, rows)
+	for r := 0; r < rows; r++ {
+		sw[r] = make([]NodeID, cols)
+		for c := 0; c < cols; c++ {
+			sw[r][c] = g.AddSwitch(fmt.Sprintf("s%d.%d", r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Right neighbour (wraps). For cols==2 the wrap link would
+			// duplicate the direct link; skip the second one.
+			if cols > 2 || c == 0 {
+				g.Connect(sw[r][c], sw[r][(c+1)%cols], linkDelay)
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if rows > 2 || r == 0 {
+				g.Connect(sw[r][c], sw[(r+1)%rows][c], linkDelay)
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			for h := 0; h < hostsPerSwitch; h++ {
+				host := g.AddHost(fmt.Sprintf("h%d.%d.%d", r, c, h))
+				g.Connect(sw[r][c], host, 1)
+			}
+		}
+	}
+	return g
+}
+
+// BidirShufflenet builds a (p, k) bidirectional shufflenet: k columns of
+// p^k switches each, where switch (col, row) links to the p switches
+// (col+1 mod k, row*p + j mod p^k) for j in [0, p).  All links are
+// full-duplex (the "bidirectional" of [PLG95]).  Each switch carries one
+// host.  The paper's Figure 11 uses the 24-node instance (p=2, k=3) with
+// 1000 byte-times of propagation per backbone link.
+func BidirShufflenet(p, k int, linkDelay int64) *Graph {
+	if p < 2 || k < 2 {
+		panic("topology: shufflenet needs p >= 2, k >= 2")
+	}
+	if linkDelay == 0 {
+		linkDelay = 1
+	}
+	rows := 1
+	for i := 0; i < k; i++ {
+		rows *= p
+	}
+	g := New()
+	sw := make([][]NodeID, k)
+	for c := 0; c < k; c++ {
+		sw[c] = make([]NodeID, rows)
+		for r := 0; r < rows; r++ {
+			sw[c][r] = g.AddSwitch(fmt.Sprintf("s%d.%d", c, r))
+		}
+	}
+	type pair struct{ a, b NodeID }
+	seen := map[pair]bool{}
+	for c := 0; c < k; c++ {
+		next := (c + 1) % k
+		for r := 0; r < rows; r++ {
+			for j := 0; j < p; j++ {
+				a, b := sw[c][r], sw[next][(r*p+j)%rows]
+				// In a bidirectional shufflenet a full-duplex cable serves
+				// both directions; avoid double-wiring the same pair (which
+				// happens for k == 2 where next column wraps straight back).
+				key := pair{a, b}
+				if a > b {
+					key = pair{b, a}
+				}
+				if a == b || seen[key] {
+					continue
+				}
+				seen[key] = true
+				g.Connect(a, b, linkDelay)
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		for r := 0; r < rows; r++ {
+			host := g.AddHost(fmt.Sprintf("h%d.%d", c, r))
+			g.Connect(sw[c][r], host, 1)
+		}
+	}
+	return g
+}
+
+// Myrinet4 builds the four-switch, eight-host LAN used for the paper's
+// prototype measurements (Section 8.2): four crossbar switches in a ring
+// with two hosts on each switch.  Link delays are 1 byte-time (25 m of
+// cable is well under one byte-time at 640 Mb/s, but zero delays are not
+// representable; 1 is the closest model).
+func Myrinet4() *Graph {
+	g := New()
+	var sw [4]NodeID
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	for i := range sw {
+		g.Connect(sw[i], sw[(i+1)%4], 1)
+	}
+	for i := range sw {
+		for h := 0; h < 2; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d", i*2+h))
+			g.Connect(sw[i], host, 1)
+		}
+	}
+	return g
+}
+
+// Line builds n switches in a line, each with one host.  Useful for unit
+// tests where routes are trivially predictable.
+func Line(n int, linkDelay int64) *Graph {
+	if n < 1 {
+		panic("topology: line needs n >= 1")
+	}
+	g := New()
+	prev := None
+	for i := 0; i < n; i++ {
+		s := g.AddSwitch(fmt.Sprintf("s%d", i))
+		if prev != None {
+			g.Connect(prev, s, linkDelay)
+		}
+		h := g.AddHost(fmt.Sprintf("h%d", i))
+		g.Connect(s, h, 1)
+		prev = s
+	}
+	return g
+}
+
+// Ring builds n switches in a cycle, each with one host.  Rings are the
+// canonical topology for demonstrating wormhole deadlock (a cycle of
+// blocked worms) and for forcing up/down routing off the shortest path.
+func Ring(n int, linkDelay int64) *Graph {
+	if n < 3 {
+		panic("topology: ring needs n >= 3")
+	}
+	g := New()
+	sws := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		sws[i] = g.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < n; i++ {
+		g.Connect(sws[i], sws[(i+1)%n], linkDelay)
+	}
+	for i := 0; i < n; i++ {
+		h := g.AddHost(fmt.Sprintf("h%d", i))
+		g.Connect(sws[i], h, 1)
+	}
+	return g
+}
+
+// Star builds one hub switch with n hosts directly attached.  This is the
+// degenerate single-switch LAN.
+func Star(n int) *Graph {
+	g := New()
+	hub := g.AddSwitch("hub")
+	for i := 0; i < n; i++ {
+		h := g.AddHost(fmt.Sprintf("h%d", i))
+		g.Connect(hub, h, 1)
+	}
+	return g
+}
+
+// FatTreeish builds a two-level tree of switches: one root, fan spines off
+// the root, and leafPerSpine hosts per spine switch, plus optional
+// crosslinks between adjacent spines.  Crosslinks exercise the up/down
+// crosslink-avoidance logic (Section 3): they are not part of the BFS
+// spanning tree when the root switch is chosen as the up/down root.
+func FatTreeish(fan, hostsPerSpine int, crosslinks bool) *Graph {
+	g := New()
+	root := g.AddSwitch("root")
+	spines := make([]NodeID, fan)
+	for i := 0; i < fan; i++ {
+		spines[i] = g.AddSwitch(fmt.Sprintf("spine%d", i))
+		g.Connect(root, spines[i], 1)
+	}
+	if crosslinks {
+		for i := 0; i+1 < fan; i += 2 {
+			g.Connect(spines[i], spines[i+1], 1)
+		}
+	}
+	for i := 0; i < fan; i++ {
+		for h := 0; h < hostsPerSpine; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d.%d", i, h))
+			g.Connect(spines[i], host, 1)
+		}
+	}
+	return g
+}
+
+// Random builds a connected random switch graph of n switches with target
+// degree deg and one host per switch, for stress tests.  Construction is
+// deterministic in seed: a random spanning tree first (guaranteeing
+// connectivity), then extra links until the average degree target is met.
+func Random(n, deg int, seed uint64) *Graph {
+	if n < 2 {
+		panic("topology: random needs n >= 2")
+	}
+	r := rng.New(seed, 0xDECAF)
+	g := New()
+	sw := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		sw[i] = g.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	type pair struct{ a, b int }
+	linked := map[pair]bool{}
+	link := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		key := pair{a, b}
+		if a > b {
+			key = pair{b, a}
+		}
+		if linked[key] {
+			return false
+		}
+		linked[key] = true
+		g.Connect(sw[a], sw[b], 1)
+		return true
+	}
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		link(perm[i], perm[r.Intn(i)])
+	}
+	want := n * deg / 2
+	for tries := 0; len(linked) < want && tries < 50*n; tries++ {
+		link(r.Intn(n), r.Intn(n))
+	}
+	for i := 0; i < n; i++ {
+		h := g.AddHost(fmt.Sprintf("h%d", i))
+		g.Connect(sw[i], h, 1)
+	}
+	return g
+}

@@ -1,0 +1,391 @@
+// Package topology models the physical layout of a wormhole-routing LAN:
+// crossbar switches, host adapters, and the point-to-point links between
+// them.
+//
+// A Graph is a set of nodes (switches and hosts) whose ports are wired
+// together by full-duplex links.  Port numbering matters: Myrinet source
+// routes are sequences of switch *output port numbers* (Section 2 of the
+// paper), so every builder in this package assigns ports deterministically
+// and the same topology always yields the same routes.
+//
+// Hosts are modelled as single-port nodes attached to a switch; the host
+// adapter logic itself lives in internal/adapter and internal/emu.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node (switch or host) within a Graph.
+type NodeID int
+
+// None is the invalid node ID.
+const None NodeID = -1
+
+// PortID identifies a port on a particular node.  Ports double as crossbar
+// input and output indices: port p of a switch names both the input channel
+// and the output channel of the attached full-duplex link.
+type PortID int
+
+// NoPort is the invalid port ID.
+const NoPort PortID = -1
+
+// Kind distinguishes crossbar switches from host adapters.
+type Kind uint8
+
+// Node kinds.
+const (
+	Switch Kind = iota
+	Host
+)
+
+// String returns "switch" or "host".
+func (k Kind) String() string {
+	switch k {
+	case Switch:
+		return "switch"
+	case Host:
+		return "host"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Port describes one side of a full-duplex link.
+type Port struct {
+	// Peer is the node on the other end of the cable, or None if the port
+	// is unwired.
+	Peer NodeID
+	// PeerPort is the port index on the peer node.
+	PeerPort PortID
+	// Delay is the one-way propagation delay of the cable in byte-times.
+	Delay int64
+}
+
+// Wired reports whether the port has a cable attached.
+func (p Port) Wired() bool { return p.Peer != None }
+
+// Node is a switch or host adapter.
+type Node struct {
+	ID    NodeID
+	Kind  Kind
+	Name  string
+	Ports []Port
+}
+
+// Degree returns the number of wired ports.
+func (n *Node) Degree() int {
+	d := 0
+	for _, p := range n.Ports {
+		if p.Wired() {
+			d++
+		}
+	}
+	return d
+}
+
+// Graph is a wormhole LAN topology.
+type Graph struct {
+	Nodes []Node
+	// DefaultDelay is applied by Connect when the delay argument is zero
+	// and by builders unless they override it per link.
+	DefaultDelay int64
+}
+
+// New returns an empty graph with a default link delay of 1 byte-time.
+func New() *Graph { return &Graph{DefaultDelay: 1} }
+
+// AddNode appends a node of the given kind and returns its ID.
+func (g *Graph) AddNode(kind Kind, name string) NodeID {
+	id := NodeID(len(g.Nodes))
+	if name == "" {
+		name = fmt.Sprintf("%s%d", kind, int(id))
+	}
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: kind, Name: name})
+	return id
+}
+
+// AddSwitch appends a switch node.
+func (g *Graph) AddSwitch(name string) NodeID { return g.AddNode(Switch, name) }
+
+// AddHost appends a host node.
+func (g *Graph) AddHost(name string) NodeID { return g.AddNode(Host, name) }
+
+// Node returns the node with the given ID.  It panics on an invalid ID.
+func (g *Graph) Node(id NodeID) *Node { return &g.Nodes[id] }
+
+// Connect wires a new full-duplex link between nodes a and b with the given
+// one-way propagation delay in byte-times (0 means the graph default).
+// It allocates the next free port index on each node and returns them.
+func (g *Graph) Connect(a, b NodeID, delay int64) (pa, pb PortID) {
+	if delay == 0 {
+		delay = g.DefaultDelay
+	}
+	if delay <= 0 {
+		panic(fmt.Sprintf("topology: non-positive delay %d", delay))
+	}
+	if a == b {
+		panic(fmt.Sprintf("topology: self-link on node %d", a))
+	}
+	na, nb := &g.Nodes[a], &g.Nodes[b]
+	pa = PortID(len(na.Ports))
+	pb = PortID(len(nb.Ports))
+	na.Ports = append(na.Ports, Port{Peer: b, PeerPort: pb, Delay: delay})
+	nb.Ports = append(nb.Ports, Port{Peer: a, PeerPort: pa, Delay: delay})
+	return pa, pb
+}
+
+// Hosts returns the IDs of all host nodes in ascending order.
+func (g *Graph) Hosts() []NodeID {
+	var out []NodeID
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == Host {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Switches returns the IDs of all switch nodes in ascending order.
+func (g *Graph) Switches() []NodeID {
+	var out []NodeID
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == Switch {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// HostAttachment returns the switch a host is wired to and the switch-side
+// port.  It returns (None, NoPort) for an unwired host and panics if the ID
+// does not name a host.
+func (g *Graph) HostAttachment(h NodeID) (sw NodeID, swPort PortID) {
+	n := g.Node(h)
+	if n.Kind != Host {
+		panic(fmt.Sprintf("topology: node %d is a %s, not a host", h, n.Kind))
+	}
+	for _, p := range n.Ports {
+		if p.Wired() {
+			return p.Peer, p.PeerPort
+		}
+	}
+	return None, NoPort
+}
+
+// Validate checks structural invariants: every port's peer points back,
+// delays are positive, hosts have exactly one wired port attached to a
+// switch, and the graph is connected.  It returns a descriptive error for
+// the first violation found.
+func (g *Graph) Validate() error {
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		wired := 0
+		for pi, p := range n.Ports {
+			if !p.Wired() {
+				continue
+			}
+			wired++
+			if p.Delay <= 0 {
+				return fmt.Errorf("node %d port %d: non-positive delay %d", i, pi, p.Delay)
+			}
+			if int(p.Peer) >= len(g.Nodes) || p.Peer < 0 {
+				return fmt.Errorf("node %d port %d: peer %d out of range", i, pi, p.Peer)
+			}
+			peer := &g.Nodes[p.Peer]
+			if int(p.PeerPort) >= len(peer.Ports) {
+				return fmt.Errorf("node %d port %d: peer port %d out of range", i, pi, p.PeerPort)
+			}
+			back := peer.Ports[p.PeerPort]
+			if back.Peer != n.ID || back.PeerPort != PortID(pi) {
+				return fmt.Errorf("node %d port %d: asymmetric wiring", i, pi)
+			}
+			if back.Delay != p.Delay {
+				return fmt.Errorf("node %d port %d: asymmetric delay", i, pi)
+			}
+		}
+		if n.Kind == Host {
+			if wired != 1 {
+				return fmt.Errorf("host %d has %d wired ports, want 1", i, wired)
+			}
+			if g.Nodes[n.Ports[0].Peer].Kind != Switch {
+				return fmt.Errorf("host %d attached to non-switch node %d", i, n.Ports[0].Peer)
+			}
+		}
+	}
+	if len(g.Nodes) > 0 {
+		reach := g.bfsDistances(NodeID(0))
+		for i, d := range reach {
+			if d < 0 {
+				return fmt.Errorf("graph is disconnected: node %d unreachable from node 0", i)
+			}
+		}
+	}
+	return nil
+}
+
+// bfsDistances returns hop distances from src to every node (-1 if
+// unreachable).  Hops count link traversals, including host links.
+func (g *Graph) bfsDistances(src NodeID) []int {
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, p := range g.Nodes[u].Ports {
+			if !p.Wired() {
+				continue
+			}
+			if dist[p.Peer] < 0 {
+				dist[p.Peer] = dist[u] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	return dist
+}
+
+// SwitchHops returns the minimum number of switch-to-switch link traversals
+// between the attachment switches of hosts a and b (0 if they share a
+// switch).  This is the edge metric of the host-connectivity graph used to
+// weigh Hamiltonian circuits (Section 5, Figure 8).
+func (g *Graph) SwitchHops(a, b NodeID) int {
+	sa, _ := g.HostAttachment(a)
+	sb, _ := g.HostAttachment(b)
+	if sa == None || sb == None {
+		return -1
+	}
+	if sa == sb {
+		return 0
+	}
+	// BFS over switches only.
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[sa] = 0
+	queue := []NodeID{sa}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == sb {
+			return dist[u]
+		}
+		for _, p := range g.Nodes[u].Ports {
+			if !p.Wired() || g.Nodes[p.Peer].Kind != Switch {
+				continue
+			}
+			if dist[p.Peer] < 0 {
+				dist[p.Peer] = dist[u] + 1
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	return -1
+}
+
+// HostConnectivity returns the complete host-connectivity graph of the
+// topology as a matrix of switch-hop counts indexed by position in
+// g.Hosts().  The paper builds multicast structures over this graph
+// (Sections 5 and 6).
+func (g *Graph) HostConnectivity() ([]NodeID, [][]int) {
+	hosts := g.Hosts()
+	m := make([][]int, len(hosts))
+	for i := range m {
+		m[i] = make([]int, len(hosts))
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			m[i][j] = g.SwitchHops(hosts[i], hosts[j])
+		}
+	}
+	return hosts, m
+}
+
+// DOT renders the topology in Graphviz DOT format, for inspection with
+// cmd/topoview.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph wormlan {\n")
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		shape := "box"
+		if n.Kind == Host {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", i, n.Name, shape)
+	}
+	type edge struct{ a, b NodeID }
+	seen := map[edge]bool{}
+	for i := range g.Nodes {
+		for _, p := range g.Nodes[i].Ports {
+			if !p.Wired() {
+				continue
+			}
+			a, bid := NodeID(i), p.Peer
+			if a > bid {
+				a, bid = bid, a
+			}
+			e := edge{a, bid}
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			fmt.Fprintf(&b, "  n%d -- n%d [label=\"%d\"];\n", e.a, e.b, p.Delay)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Stats summarizes a topology for logging.
+type Stats struct {
+	Switches, Hosts, Links int
+	MaxSwitchDegree        int
+	Diameter               int // in link hops over all nodes
+}
+
+// Summary computes Stats for the graph.
+func (g *Graph) Summary() Stats {
+	var s Stats
+	links := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		switch n.Kind {
+		case Switch:
+			s.Switches++
+			if d := n.Degree(); d > s.MaxSwitchDegree {
+				s.MaxSwitchDegree = d
+			}
+		case Host:
+			s.Hosts++
+		}
+		links += n.Degree()
+	}
+	s.Links = links / 2
+	for i := range g.Nodes {
+		for _, d := range g.bfsDistances(NodeID(i)) {
+			if d > s.Diameter {
+				s.Diameter = d
+			}
+		}
+	}
+	return s
+}
+
+// SortedNames returns node names in ID order; used by tests and tools.
+func (g *Graph) SortedNames() []string {
+	names := make([]string, len(g.Nodes))
+	for i := range g.Nodes {
+		names[i] = g.Nodes[i].Name
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectSymmetry(t *testing.T) {
+	g := New()
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	pa, pb := g.Connect(a, b, 5)
+	if g.Node(a).Ports[pa].Peer != b || g.Node(b).Ports[pb].Peer != a {
+		t.Fatal("peers not symmetric")
+	}
+	if g.Node(a).Ports[pa].PeerPort != pb || g.Node(b).Ports[pb].PeerPort != pa {
+		t.Fatal("peer ports not symmetric")
+	}
+	if g.Node(a).Ports[pa].Delay != 5 {
+		t.Fatal("delay not recorded")
+	}
+}
+
+func TestConnectDefaults(t *testing.T) {
+	g := New()
+	g.DefaultDelay = 7
+	a, b := g.AddSwitch(""), g.AddSwitch("")
+	pa, _ := g.Connect(a, b, 0)
+	if d := g.Node(a).Ports[pa].Delay; d != 7 {
+		t.Fatalf("default delay = %d, want 7", d)
+	}
+}
+
+func TestSelfLinkPanics(t *testing.T) {
+	g := New()
+	a := g.AddSwitch("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-link did not panic")
+		}
+	}()
+	g.Connect(a, a, 1)
+}
+
+func TestHostAttachment(t *testing.T) {
+	g := Line(3, 1)
+	hosts := g.Hosts()
+	if len(hosts) != 3 {
+		t.Fatalf("hosts = %d", len(hosts))
+	}
+	sw, port := g.HostAttachment(hosts[1])
+	if g.Node(sw).Name != "s1" {
+		t.Fatalf("host 1 attached to %s", g.Node(sw).Name)
+	}
+	if port == NoPort {
+		t.Fatal("no switch port")
+	}
+}
+
+func TestHostAttachmentPanicsOnSwitch(t *testing.T) {
+	g := Line(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HostAttachment on a switch did not panic")
+		}
+	}()
+	g.HostAttachment(g.Switches()[0])
+}
+
+func TestValidateAllBuilders(t *testing.T) {
+	cases := map[string]*Graph{
+		"torus8x8":     Torus(8, 8, 1, 1),
+		"torus2x2":     Torus(2, 2, 1, 1),
+		"torus2x3":     Torus(2, 3, 2, 1),
+		"shufflenet":   BidirShufflenet(2, 3, 1000),
+		"shuffle p2k2": BidirShufflenet(2, 2, 1),
+		"shuffle p3k2": BidirShufflenet(3, 2, 1),
+		"myrinet4":     Myrinet4(),
+		"line1":        Line(1, 1),
+		"line5":        Line(5, 1),
+		"star8":        Star(8),
+		"fattree":      FatTreeish(4, 3, true),
+		"random":       Random(20, 4, 99),
+	}
+	for name, g := range cases {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	g := Torus(8, 8, 1, 1)
+	s := g.Summary()
+	if s.Switches != 64 || s.Hosts != 64 {
+		t.Fatalf("torus 8x8: %+v", s)
+	}
+	// 64 switches x 4 torus links / 2 + 64 host links
+	if s.Links != 64*4/2+64 {
+		t.Fatalf("torus links = %d", s.Links)
+	}
+	if s.MaxSwitchDegree != 5 {
+		t.Fatalf("torus switch degree = %d, want 4+1 host", s.MaxSwitchDegree)
+	}
+}
+
+func TestTorus2xNNoDuplicateLinks(t *testing.T) {
+	g := Torus(2, 2, 1, 1)
+	// With wrap dedup: each switch has 2 switch links + 1 host link.
+	for _, sw := range g.Switches() {
+		if d := g.Node(sw).Degree(); d != 3 {
+			t.Fatalf("2x2 torus switch degree = %d, want 3", d)
+		}
+	}
+}
+
+func TestShufflenetShape(t *testing.T) {
+	g := BidirShufflenet(2, 3, 1000)
+	s := g.Summary()
+	if s.Switches != 24 || s.Hosts != 24 {
+		t.Fatalf("shufflenet: %+v", s)
+	}
+	// (p,k)=(2,3): 24 switches x 2 outgoing links = 48 directed = 48
+	// full-duplex cables minus self/dup collisions. Every node row*2+j mod 8
+	// for distinct rows is distinct unless a==b (row 0 links to row 0? row*2
+	// mod 8 == row only for row 0 col-wrap cases).
+	if s.Links < 40 {
+		t.Fatalf("shufflenet links = %d, suspiciously low", s.Links)
+	}
+	// Backbone links carry the optical propagation delay.
+	swNodes := g.Switches()
+	for _, sw := range swNodes {
+		for _, p := range g.Node(sw).Ports {
+			if g.Node(p.Peer).Kind == Switch && p.Delay != 1000 {
+				t.Fatalf("backbone link delay = %d, want 1000", p.Delay)
+			}
+		}
+	}
+}
+
+func TestMyrinet4Shape(t *testing.T) {
+	g := Myrinet4()
+	s := g.Summary()
+	if s.Switches != 4 || s.Hosts != 8 {
+		t.Fatalf("myrinet4: %+v", s)
+	}
+	if s.Links != 4+8 {
+		t.Fatalf("myrinet4 links = %d", s.Links)
+	}
+}
+
+func TestSwitchHops(t *testing.T) {
+	g := Line(4, 1)
+	hosts := g.Hosts()
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {1, 3, 2},
+	}
+	for _, tc := range tests {
+		if got := g.SwitchHops(hosts[tc.a], hosts[tc.b]); got != tc.want {
+			t.Errorf("SwitchHops(h%d,h%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestSwitchHopsSameSwitch(t *testing.T) {
+	g := Star(4)
+	hosts := g.Hosts()
+	if got := g.SwitchHops(hosts[0], hosts[3]); got != 0 {
+		t.Fatalf("same-switch hops = %d, want 0", got)
+	}
+}
+
+func TestHostConnectivityMatrix(t *testing.T) {
+	g := Myrinet4()
+	hosts, m := g.HostConnectivity()
+	if len(hosts) != 8 || len(m) != 8 {
+		t.Fatalf("connectivity shape %d x %d", len(hosts), len(m))
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := range m[i] {
+			if m[i][j] != m[j][i] {
+				t.Fatalf("asymmetric metric at %d,%d", i, j)
+			}
+			if i != j && (m[i][j] < 0 || m[i][j] > 2) {
+				t.Fatalf("ring of 4 switches: hops(%d,%d) = %d", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestTorusDiameter(t *testing.T) {
+	g := Torus(4, 4, 0, 1) // no hosts: pure switch fabric
+	s := g.Summary()
+	if s.Diameter != 4 { // 2+2 in a 4x4 torus
+		t.Fatalf("4x4 torus diameter = %d, want 4", s.Diameter)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := Star(2)
+	dot := g.DOT()
+	for _, want := range []string{"graph wormlan", "hub", "h0", "h1", "--"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// 2 host links => exactly 2 edges
+	if n := strings.Count(dot, "--"); n != 2 {
+		t.Fatalf("DOT has %d edges, want 2", n)
+	}
+}
+
+func TestValidateCatchesDisconnected(t *testing.T) {
+	g := New()
+	g.AddSwitch("a")
+	g.AddSwitch("b")
+	if err := g.Validate(); err == nil {
+		t.Fatal("disconnected graph validated")
+	}
+}
+
+func TestValidateCatchesUnattachedHost(t *testing.T) {
+	g := New()
+	s := g.AddSwitch("s")
+	g.AddHost("h") // never wired
+	h2 := g.AddHost("h2")
+	g.Connect(s, h2, 1)
+	if err := g.Validate(); err == nil {
+		t.Fatal("host with no wired port validated")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(16, 4, 7)
+	b := Random(16, 4, 7)
+	if a.DOT() != b.DOT() {
+		t.Fatal("Random not deterministic in seed")
+	}
+	c := Random(16, 4, 8)
+	if a.DOT() == c.DOT() {
+		t.Fatal("Random ignores seed")
+	}
+}
+
+func TestRandomConnectedProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		d := int(dRaw%4) + 2
+		g := Random(n, d, seed)
+		return g.Validate() == nil
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryCounts(t *testing.T) {
+	g := FatTreeish(3, 2, false)
+	s := g.Summary()
+	if s.Switches != 4 || s.Hosts != 6 || s.Links != 3+6 {
+		t.Fatalf("fattree summary %+v", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Switch.String() != "switch" || Host.String() != "host" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind produced empty string")
+	}
+}

@@ -1,0 +1,180 @@
+// Package traffic generates the workload of Section 7 of the paper: each
+// host produces worms by a Poisson process with geometrically distributed
+// lengths (mean 400 bytes); a configurable proportion of generated worms
+// are multicast, each choosing uniformly among the groups its host belongs
+// to; unicast worms pick a uniform random destination.
+//
+// "Offered load" follows the paper's definition: the output-link
+// utilization per host due to generated (not forwarded) traffic, so the
+// per-host generation rate is OfferedLoad / MeanWorm worms per byte-time.
+package traffic
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/rng"
+	"wormlan/internal/topology"
+)
+
+// Sink consumes generated traffic (implemented by the adapter system in
+// simulations and by test doubles in unit tests).
+type Sink interface {
+	SendUnicast(src, dst topology.NodeID, payload int) error
+	SendMulticast(src topology.NodeID, group, payload int) error
+}
+
+// Config parameterizes the generator.
+type Config struct {
+	// OfferedLoad is the generated output-link utilization per host,
+	// 0 < load < 1 (Figure 10 sweeps 0.04-0.12).
+	OfferedLoad float64
+	// MeanWorm is the mean worm length in bytes (the paper uses 400).
+	MeanWorm int
+	// MaxWorm caps individual draws (the 9 KB LANai limit minus header
+	// headroom).  Default 8 KB.
+	MaxWorm int
+	// MulticastProb is the probability that a generated worm is a
+	// multicast worm, for hosts that belong to at least one group.
+	MulticastProb float64
+	// Until stops generation at this simulation time (0: never stops —
+	// callers must then bound the kernel run themselves).
+	Until des.Time
+}
+
+// Generator drives per-host Poisson worm generation.
+type Generator struct {
+	K     *des.Kernel
+	Cfg   Config
+	Sink  Sink
+	hosts []topology.NodeID
+	// groupsOf maps a host to the groups it belongs to.
+	groupsOf map[topology.NodeID][]int
+	r        map[topology.NodeID]*rng.Source
+
+	generated       int64
+	generatedMC     int64
+	generatedBytes  int64
+	generationError error
+}
+
+// New builds a generator over the given hosts.  groupsOf lists each host's
+// group memberships (hosts absent from the map generate only unicast).
+func New(k *des.Kernel, cfg Config, hosts []topology.NodeID,
+	groupsOf map[topology.NodeID][]int, sink Sink, seed uint64) (*Generator, error) {
+	if cfg.OfferedLoad <= 0 || cfg.OfferedLoad >= 1 {
+		return nil, fmt.Errorf("traffic: offered load %v out of (0,1)", cfg.OfferedLoad)
+	}
+	if cfg.MeanWorm <= 0 {
+		return nil, fmt.Errorf("traffic: mean worm %d", cfg.MeanWorm)
+	}
+	if cfg.MaxWorm == 0 {
+		cfg.MaxWorm = 8 * 1024
+	}
+	if cfg.MulticastProb < 0 || cfg.MulticastProb > 1 {
+		return nil, fmt.Errorf("traffic: multicast probability %v", cfg.MulticastProb)
+	}
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("traffic: need at least 2 hosts")
+	}
+	g := &Generator{
+		K: k, Cfg: cfg, Sink: sink, hosts: hosts,
+		groupsOf: groupsOf,
+		r:        make(map[topology.NodeID]*rng.Source, len(hosts)),
+	}
+	for _, h := range hosts {
+		// One independent stream per host: adding hosts or reordering
+		// events does not perturb another host's draws.
+		g.r[h] = rng.New(seed, uint64(h)+1)
+	}
+	return g, nil
+}
+
+// Start schedules the first arrival at every host.
+func (g *Generator) Start() {
+	for _, h := range g.hosts {
+		g.scheduleNext(h)
+	}
+}
+
+// Generated returns (worms, multicast worms, payload bytes) generated.
+func (g *Generator) Generated() (worms, multicasts, bytes int64) {
+	return g.generated, g.generatedMC, g.generatedBytes
+}
+
+// Err returns the first sink error, if any (generation stops on error).
+func (g *Generator) Err() error { return g.generationError }
+
+func (g *Generator) interarrival(h topology.NodeID) des.Time {
+	mean := float64(g.Cfg.MeanWorm) / g.Cfg.OfferedLoad
+	d := des.Time(g.r[h].Exp(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (g *Generator) scheduleNext(h topology.NodeID) {
+	if g.generationError != nil {
+		return
+	}
+	next := g.K.Now() + g.interarrival(h)
+	if g.Cfg.Until > 0 && next > g.Cfg.Until {
+		return
+	}
+	g.K.At(next, func() { g.arrive(h) })
+}
+
+func (g *Generator) arrive(h topology.NodeID) {
+	r := g.r[h]
+	payload := r.Geometric(float64(g.Cfg.MeanWorm))
+	if payload > g.Cfg.MaxWorm {
+		payload = g.Cfg.MaxWorm
+	}
+	groups := g.groupsOf[h]
+	var err error
+	if len(groups) > 0 && r.Float64() < g.Cfg.MulticastProb {
+		grp := groups[r.Intn(len(groups))]
+		g.generatedMC++
+		err = g.Sink.SendMulticast(h, grp, payload)
+	} else {
+		dst := h
+		for dst == h {
+			dst = g.hosts[r.Intn(len(g.hosts))]
+		}
+		err = g.Sink.SendUnicast(h, dst, payload)
+	}
+	if err != nil {
+		g.generationError = fmt.Errorf("traffic: host %d at t=%d: %w", h, g.K.Now(), err)
+		return
+	}
+	g.generated++
+	g.generatedBytes += int64(payload)
+	g.scheduleNext(h)
+}
+
+// AssignGroups builds nGroups random groups of groupSize members each from
+// the host list (deterministic in seed), returning the member sets and the
+// per-host membership map.  This mirrors the paper's "members chosen at
+// random" setup (Section 7.1).
+func AssignGroups(hosts []topology.NodeID, nGroups, groupSize int, seed uint64) (
+	members [][]topology.NodeID, groupsOf map[topology.NodeID][]int, err error) {
+	if groupSize > len(hosts) {
+		return nil, nil, fmt.Errorf("traffic: group size %d exceeds %d hosts", groupSize, len(hosts))
+	}
+	if groupSize < 2 {
+		return nil, nil, fmt.Errorf("traffic: group size %d < 2", groupSize)
+	}
+	r := rng.New(seed, 0x6709)
+	groupsOf = make(map[topology.NodeID][]int)
+	for gi := 0; gi < nGroups; gi++ {
+		perm := r.Perm(len(hosts))
+		set := make([]topology.NodeID, groupSize)
+		for i := 0; i < groupSize; i++ {
+			set[i] = hosts[perm[i]]
+			groupsOf[set[i]] = append(groupsOf[set[i]], gi)
+		}
+		members = append(members, set)
+	}
+	return members, groupsOf, nil
+}

@@ -1,0 +1,121 @@
+package updown
+
+import (
+	"fmt"
+
+	"wormlan/internal/topology"
+)
+
+// Channel identifies a directed link: the output side of port Port on node
+// Node.  Wormhole deadlock analysis [DS87] works on channels: a set of
+// routes is deadlock-free if the "waits-for" relation between consecutive
+// channels on the routes is acyclic.
+type Channel struct {
+	Node topology.NodeID
+	Port topology.PortID
+}
+
+// DependencyGraph builds the channel dependency graph induced by a set of
+// routes: there is an edge c1 -> c2 whenever some route acquires channel c2
+// immediately after c1 (so a worm holding c1 may wait for c2).
+func DependencyGraph(g *topology.Graph, routes []Route) map[Channel][]Channel {
+	dep := make(map[Channel][]Channel)
+	seen := make(map[[2]Channel]bool)
+	add := func(a, b Channel) {
+		k := [2]Channel{a, b}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		dep[a] = append(dep[a], b)
+	}
+	for _, rt := range routes {
+		// First channel: host adapter -> first switch.
+		prev := Channel{Node: rt.Src, Port: 0}
+		for i, port := range rt.Ports {
+			cur := Channel{Node: rt.Switches[i], Port: port}
+			add(prev, cur)
+			prev = cur
+		}
+	}
+	return dep
+}
+
+// FindCycle returns a cycle in the dependency graph, or nil if it is
+// acyclic.  The cycle is returned as the sequence of channels involved.
+func FindCycle(dep map[Channel][]Channel) []Channel {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[Channel]int, len(dep))
+	parent := make(map[Channel]Channel)
+	// Deterministic iteration: collect and sort keys.
+	keys := make([]Channel, 0, len(dep))
+	for k := range dep {
+		keys = append(keys, k)
+	}
+	sortChannels(keys)
+
+	var cycleStart, cycleEnd Channel
+	var dfs func(u Channel) bool
+	dfs = func(u Channel) bool {
+		color[u] = grey
+		for _, v := range dep[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case grey:
+				cycleStart, cycleEnd = v, u
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for _, k := range keys {
+		if color[k] == white && dfs(k) {
+			cycle := []Channel{cycleStart}
+			for v := cycleEnd; v != cycleStart; v = parent[v] {
+				cycle = append(cycle, v)
+			}
+			// Reverse for forward order.
+			for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+				cycle[i], cycle[j] = cycle[j], cycle[i]
+			}
+			return cycle
+		}
+	}
+	return nil
+}
+
+func sortChannels(cs []Channel) {
+	// Insertion sort is fine for the sizes involved; avoids importing sort
+	// with a custom Less closure allocation in a hot test path.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && channelLess(cs[j], cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func channelLess(a, b Channel) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Port < b.Port
+}
+
+// VerifyDeadlockFree checks that the channel dependency graph induced by
+// the given routes is acyclic, and returns a descriptive error naming the
+// offending channel cycle otherwise.
+func VerifyDeadlockFree(g *topology.Graph, routes []Route) error {
+	if cycle := FindCycle(DependencyGraph(g, routes)); cycle != nil {
+		return fmt.Errorf("updown: channel dependency cycle of length %d: %v", len(cycle), cycle)
+	}
+	return nil
+}

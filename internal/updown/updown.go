@@ -1,0 +1,334 @@
+// Package updown implements the deadlock-free up*/down* routing scheme
+// introduced by Autonet [SBB+91] and employed by Myrinet, as described in
+// Section 2 of the paper.
+//
+// One switch is chosen as the root of a spanning tree (computed here by
+// breadth-first search; Myrinet computes it with a background "mapping"
+// algorithm).  Every directed switch-to-switch link is labelled 'up' if it
+// points from a lower to a higher level in the tree — i.e. toward a node at
+// a smaller distance from the root — with node IDs breaking ties between
+// same-level nodes.  A legal route traverses zero or more 'up' links
+// followed by zero or more 'down' links.  Because every cycle in the
+// network would need a down->up transition somewhere, circular waits are
+// impossible and the routing is deadlock-free.
+//
+// The package also provides the tree-restricted variant used by the
+// switch-level multicast scheme of Section 3, in which worms may only use
+// links of the spanning tree itself (crosslinks are excluded entirely).
+package updown
+
+import (
+	"fmt"
+
+	"wormlan/internal/topology"
+)
+
+// Routing holds the up/down labelling of a topology and computes routes.
+type Routing struct {
+	G    *topology.Graph
+	Root topology.NodeID
+
+	// Level is the BFS distance of each switch from the root
+	// (only meaningful for switch nodes; hosts get -1).
+	Level []int
+	// Parent is each switch's spanning-tree parent (root and hosts: None).
+	Parent []topology.NodeID
+	// ParentPort is the output port on the switch leading to its parent.
+	ParentPort []topology.PortID
+
+	// inTree[n][p] reports whether the directed link out of port p of node
+	// n is part of the spanning tree (host links are always in tree).
+	inTree [][]bool
+}
+
+// New computes the up/down labelling of g rooted at the given switch.
+// If root is topology.None, the lowest-numbered switch is used.
+func New(g *topology.Graph, root topology.NodeID) (*Routing, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("updown: invalid topology: %w", err)
+	}
+	switches := g.Switches()
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("updown: no switches")
+	}
+	if root == topology.None {
+		root = switches[0]
+	}
+	if g.Node(root).Kind != topology.Switch {
+		return nil, fmt.Errorf("updown: root %d is not a switch", root)
+	}
+	r := &Routing{
+		G:          g,
+		Root:       root,
+		Level:      make([]int, len(g.Nodes)),
+		Parent:     make([]topology.NodeID, len(g.Nodes)),
+		ParentPort: make([]topology.PortID, len(g.Nodes)),
+		inTree:     make([][]bool, len(g.Nodes)),
+	}
+	for i := range g.Nodes {
+		r.Level[i] = -1
+		r.Parent[i] = topology.None
+		r.ParentPort[i] = topology.NoPort
+		r.inTree[i] = make([]bool, len(g.Nodes[i].Ports))
+	}
+	// BFS over switches only; deterministic because ports are scanned in
+	// index order and the queue is FIFO.
+	r.Level[root] = 0
+	queue := []topology.NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for pi, p := range g.Node(u).Ports {
+			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
+				continue
+			}
+			if r.Level[p.Peer] < 0 {
+				r.Level[p.Peer] = r.Level[u] + 1
+				r.Parent[p.Peer] = u
+				r.ParentPort[p.Peer] = p.PeerPort
+				r.inTree[u][pi] = true
+				r.inTree[p.Peer][p.PeerPort] = true
+				queue = append(queue, p.Peer)
+			}
+		}
+	}
+	// Host links belong to the tree by definition.
+	for i := range g.Nodes {
+		for pi, p := range g.Nodes[i].Ports {
+			if p.Wired() && (g.Nodes[i].Kind == topology.Host || g.Node(p.Peer).Kind == topology.Host) {
+				r.inTree[i][pi] = true
+			}
+		}
+	}
+	return r, nil
+}
+
+// IsUp reports whether traversing the link out of port p of switch n is an
+// 'up' traversal: toward a strictly lower level, or toward an equal-level
+// switch with a lower node ID.
+func (r *Routing) IsUp(n topology.NodeID, p topology.PortID) bool {
+	port := r.G.Node(n).Ports[p]
+	peer := port.Peer
+	if r.G.Node(peer).Kind != topology.Switch {
+		return false
+	}
+	lu, lv := r.Level[n], r.Level[peer]
+	if lv != lu {
+		return lv < lu
+	}
+	return peer < n
+}
+
+// InTree reports whether the link out of port p of node n is part of the
+// up/down spanning tree.
+func (r *Routing) InTree(n topology.NodeID, p topology.PortID) bool {
+	return r.inTree[n][p]
+}
+
+// Route is a Myrinet-style source route: the output port to take at each
+// switch on the path, in order.  The final port delivers the worm to the
+// destination host adapter.
+type Route struct {
+	Src, Dst topology.NodeID
+	Ports    []topology.PortID
+	// Switches visited, parallel to Ports (Switches[i] takes Ports[i]).
+	Switches []topology.NodeID
+}
+
+// Hops returns the number of switch traversals on the route.
+func (rt Route) Hops() int { return len(rt.Ports) }
+
+// routeState is a node plus the "have we gone down yet" phase of the
+// up*/down* walk.
+type routeState struct {
+	node topology.NodeID
+	down bool
+}
+
+// Route computes a shortest legal up*/down* route from host src to host
+// dst.  Among equal-length routes the choice is deterministic (the paper's
+// simulation likewise fixes one path per source-destination pair).
+// treeOnly restricts the walk to spanning-tree links, the crosslink-free
+// discipline required by the switch-level multicast scheme of Section 3.
+func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) {
+	g := r.G
+	if g.Node(src).Kind != topology.Host || g.Node(dst).Kind != topology.Host {
+		return Route{}, fmt.Errorf("updown: route endpoints must be hosts (got %s, %s)",
+			g.Node(src).Kind, g.Node(dst).Kind)
+	}
+	sSrc, _ := g.HostAttachment(src)
+	sDst, dstPortOnSwitch := g.HostAttachment(dst)
+	if src == dst {
+		return Route{}, fmt.Errorf("updown: route to self (host %d)", src)
+	}
+	if sSrc == sDst {
+		// Single-switch route: one port, straight to the destination host.
+		return Route{Src: src, Dst: dst,
+			Ports:    []topology.PortID{dstPortOnSwitch},
+			Switches: []topology.NodeID{sSrc}}, nil
+	}
+	// BFS over (switch, phase).  Phase false = still allowed to go up.
+	type prevHop struct {
+		state routeState
+		port  topology.PortID
+	}
+	prev := make(map[routeState]prevHop)
+	start := routeState{sSrc, false}
+	prev[start] = prevHop{state: routeState{topology.None, false}}
+	queue := []routeState{start}
+	var goal routeState
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for pi, p := range g.Node(cur.node).Ports {
+			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
+				continue
+			}
+			if treeOnly && !r.inTree[cur.node][pi] {
+				continue
+			}
+			up := r.IsUp(cur.node, topology.PortID(pi))
+			if cur.down && up {
+				continue // down->up transition is illegal
+			}
+			next := routeState{p.Peer, cur.down || !up}
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = prevHop{state: cur, port: topology.PortID(pi)}
+			if p.Peer == sDst {
+				goal = next
+				found = true
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if !found {
+		return Route{}, fmt.Errorf("updown: no legal route from host %d to host %d (treeOnly=%v)",
+			src, dst, treeOnly)
+	}
+	// Walk back from goal to start.
+	var ports []topology.PortID
+	var sws []topology.NodeID
+	for cur := goal; cur != start; {
+		h := prev[cur]
+		ports = append(ports, h.port)
+		sws = append(sws, h.state.node)
+		cur = h.state
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(ports)-1; i < j; i, j = i+1, j-1 {
+		ports[i], ports[j] = ports[j], ports[i]
+		sws[i], sws[j] = sws[j], sws[i]
+	}
+	ports = append(ports, dstPortOnSwitch)
+	sws = append(sws, sDst)
+	return Route{Src: src, Dst: dst, Ports: ports, Switches: sws}, nil
+}
+
+// Route computes a shortest legal up*/down* route between two hosts.
+func (r *Routing) Route(src, dst topology.NodeID) (Route, error) {
+	return r.route(src, dst, false)
+}
+
+// RouteTreeOnly computes a shortest route restricted to spanning-tree links.
+func (r *Routing) RouteTreeOnly(src, dst topology.NodeID) (Route, error) {
+	return r.route(src, dst, true)
+}
+
+// Table precomputes routes between every ordered pair of hosts.
+type Table struct {
+	Hosts  []topology.NodeID
+	index  map[topology.NodeID]int
+	routes [][]Route
+}
+
+// NewTable builds a route table over all hosts of the topology.
+func (r *Routing) NewTable(treeOnly bool) (*Table, error) {
+	hosts := r.G.Hosts()
+	t := &Table{Hosts: hosts, index: make(map[topology.NodeID]int, len(hosts))}
+	for i, h := range hosts {
+		t.index[h] = i
+	}
+	t.routes = make([][]Route, len(hosts))
+	for i, src := range hosts {
+		t.routes[i] = make([]Route, len(hosts))
+		for j, dst := range hosts {
+			if i == j {
+				continue
+			}
+			rt, err := r.route(src, dst, treeOnly)
+			if err != nil {
+				return nil, err
+			}
+			t.routes[i][j] = rt
+		}
+	}
+	return t, nil
+}
+
+// Lookup returns the precomputed route from src to dst.
+func (t *Table) Lookup(src, dst topology.NodeID) Route {
+	return t.routes[t.index[src]][t.index[dst]]
+}
+
+// MeanHops returns the average switch-hop count over all ordered host
+// pairs; the paper notes up/down paths "are generally not shortest paths".
+func (t *Table) MeanHops() float64 {
+	total, n := 0, 0
+	for i := range t.routes {
+		for j := range t.routes[i] {
+			if i == j {
+				continue
+			}
+			total += t.routes[i][j].Hops()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// VerifyRoute checks that a route is a legal up*/down* walk through the
+// topology ending at the destination host.  Used by tests and by the
+// deadlock-freedom property checks.
+func (r *Routing) VerifyRoute(rt Route) error {
+	g := r.G
+	sw, _ := g.HostAttachment(rt.Src)
+	goneDown := false
+	for i, port := range rt.Ports {
+		if rt.Switches[i] != sw {
+			return fmt.Errorf("hop %d: route says switch %d, walk is at %d", i, rt.Switches[i], sw)
+		}
+		if int(port) >= len(g.Node(sw).Ports) {
+			return fmt.Errorf("hop %d: port %d out of range at switch %d", i, port, sw)
+		}
+		p := g.Node(sw).Ports[port]
+		if !p.Wired() {
+			return fmt.Errorf("hop %d: port %d of switch %d unwired", i, port, sw)
+		}
+		if g.Node(p.Peer).Kind == topology.Switch {
+			up := r.IsUp(sw, port)
+			if goneDown && up {
+				return fmt.Errorf("hop %d: illegal down->up transition at switch %d", i, sw)
+			}
+			if !up {
+				goneDown = true
+			}
+			sw = p.Peer
+		} else {
+			if i != len(rt.Ports)-1 {
+				return fmt.Errorf("hop %d: reached host %d before end of route", i, p.Peer)
+			}
+			if p.Peer != rt.Dst {
+				return fmt.Errorf("route delivers to host %d, want %d", p.Peer, rt.Dst)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("route ends at switch %d without reaching host %d", sw, rt.Dst)
+}
