@@ -15,6 +15,8 @@ import (
 	"strings"
 
 	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/fault"
 	"wormlan/internal/sim"
 	"wormlan/internal/topology"
 )
@@ -91,6 +93,11 @@ func main() {
 	seed := flag.Uint64("seed", 1996, "random seed")
 	ordered := flag.Bool("ordered", false, "total ordering via the lowest-ID serializer")
 	reliable := flag.Bool("reliable", false, "use the full ACK/NACK reservation protocol instead of the paper's plain-forwarding simulation mode")
+	failLinks := flag.Int("fail-links", 0, "kill N random switch-to-switch cables during the run")
+	failSwitches := flag.Int("fail-switches", 0, "crash N random switches during the run")
+	failAt := flag.Int64("fail-at", 0, "fault times are drawn uniformly over [1,T] byte-times (default warmup + measure/2)")
+	failHeal := flag.Int64("fail-heal", 0, "revive each failed element D byte-times after it fails (0 = permanent)")
+	failSeed := flag.Uint64("fail-seed", 0, "fault schedule seed (default: -seed)")
 	flag.Parse()
 
 	var g *topology.Graph
@@ -110,6 +117,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
 		os.Exit(2)
 	}
+	var plan *fault.Plan
+	if *failLinks > 0 || *failSwitches > 0 {
+		fs := *failSeed
+		if fs == 0 {
+			fs = *seed
+		}
+		window := *failAt
+		if window == 0 {
+			window = *warmup + *measure/2
+		}
+		plan = fault.RandomPlan(g, fault.Options{
+			Seed:        fs,
+			LinkDowns:   *failLinks,
+			SwitchDowns: *failSwitches,
+			Window:      des.Time(window),
+			Heal:        des.Time(*failHeal),
+		})
+	}
 	res, err := sim.Run(sim.Config{
 		Graph:         g,
 		Scheme:        scheme,
@@ -124,6 +149,7 @@ func main() {
 		Measure:       *measure,
 		Seed:          *seed,
 		Adapter:       adapter.Config{PlainForwarding: !*reliable},
+		FaultPlan:     plan,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
@@ -137,6 +163,9 @@ func main() {
 	fmt.Printf("generated worms:   %d (%d multicast)\n", res.GeneratedWorms, res.GeneratedMC)
 	fmt.Printf("adapter stats:     %+v\n", res.Adapter)
 	fmt.Printf("fabric counters:   %+v\n", res.Fabric)
+	if plan != nil {
+		fmt.Printf("fault counters:    %+v\n", res.Fault)
+	}
 	if res.Stalled {
 		fmt.Println("WARNING: worms remained frozen in the fabric (deadlock symptom)")
 		os.Exit(1)

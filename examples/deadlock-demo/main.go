@@ -143,13 +143,16 @@ func bufferDeadlock() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys := adapter.NewSystem(k, fab, tbl, adapter.Config{
+		sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
 			Mode:        adapter.ModeCircuit,
 			ClassBytes:  400, // exactly one worm per class
 			NackBackoff: 1024,
 			MaxRetries:  6,
 			SingleClass: single,
 		}, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
 		delivered := 0
 		sys.OnAppDeliver = func(adapter.AppDelivery) { delivered++ }
 		hosts := g.Hosts()

@@ -67,7 +67,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := adapter.NewSystem(k, fab, routeTbl, adapter.Config{Mode: adapter.ModeCircuit}, 3)
+	sys, err := adapter.NewSystem(k, fab, routeTbl, adapter.Config{Mode: adapter.ModeCircuit}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
 	grp, err := multicast.NewGroup(int(mg), tbl.Members(mg))
 	if err != nil {
 		log.Fatal(err)

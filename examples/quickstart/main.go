@@ -38,10 +38,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := adapter.NewSystem(k, fab, table, adapter.Config{
+	sys, err := adapter.NewSystem(k, fab, table, adapter.Config{
 		Mode:       adapter.ModeCircuit,
 		CutThrough: true,
 	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	sys.OnAppDeliver = func(d adapter.AppDelivery) {
 		if d.Transfer != nil {

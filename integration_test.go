@@ -57,7 +57,10 @@ func newStack(t *testing.T, g *topology.Graph, acfg adapter.Config) *stack {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.sys = adapter.NewSystem(s.k, f, tbl, acfg, 77)
+	s.sys, err = adapter.NewSystem(s.k, f, tbl, acfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.sys.OnAppDeliver = func(d adapter.AppDelivery) {
 		if d.Transfer != nil {
 			s.mcDelivered[d.Transfer.ID]++

@@ -28,6 +28,7 @@ package adapter
 
 import (
 	"fmt"
+	"sort"
 
 	"wormlan/internal/des"
 	"wormlan/internal/eventq"
@@ -134,6 +135,43 @@ type Config struct {
 	PlainForwarding bool
 }
 
+// Validate rejects inconsistent configurations.  Zero values are legal
+// (withDefaults fills them in); negative or out-of-range values are
+// configuration bugs and must not be silently "fixed".
+func (c Config) Validate() error {
+	if c.Mode > ModeTreeFlood {
+		return fmt.Errorf("adapter: unknown mode %v", c.Mode)
+	}
+	if c.ClassBytes < 0 {
+		return fmt.Errorf("adapter: negative ClassBytes %d", c.ClassBytes)
+	}
+	if c.DMABytes < 0 {
+		return fmt.Errorf("adapter: negative DMABytes %d", c.DMABytes)
+	}
+	if c.AckTimeoutBase < 0 {
+		return fmt.Errorf("adapter: negative AckTimeoutBase %d", c.AckTimeoutBase)
+	}
+	if c.NackBackoff < 0 {
+		return fmt.Errorf("adapter: negative NackBackoff %d", c.NackBackoff)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("adapter: negative MaxRetries %d", c.MaxRetries)
+	}
+	if c.CtrlPayload < 0 {
+		return fmt.Errorf("adapter: negative CtrlPayload %d", c.CtrlPayload)
+	}
+	if c.CtrlPayload > flit.MaxWormSize-16 {
+		return fmt.Errorf("adapter: CtrlPayload %d exceeds the worm size limit", c.CtrlPayload)
+	}
+	if c.TotalOrdering && c.Mode != ModeCircuit {
+		return fmt.Errorf("adapter: TotalOrdering requires ModeCircuit (got %v)", c.Mode)
+	}
+	if c.ReturnToSender && c.Mode != ModeCircuit {
+		return fmt.Errorf("adapter: ReturnToSender requires ModeCircuit (got %v)", c.Mode)
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.ClassBytes == 0 {
 		c.ClassBytes = 12800
@@ -208,6 +246,12 @@ type Stats struct {
 	DMASpillBytes   int64 // bytes overflowed to host DMA extensions
 	CutThroughFwds  int64 // forwards begun at head arrival
 	StoreForwardFwd int64 // forwards begun after full reception
+
+	// Failure-recovery counters.
+	RouteLost    int64 // sends abandoned because no surviving route exists
+	PrunedHops   int64 // outstanding hops given up at reroute (peer unreachable)
+	GroupsPruned int64 // multicast structures rebuilt over surviving members
+	GroupsDead   int64 // multicast structures left with fewer than 2 members
 }
 
 // Structure is the multicast structure of one group under the configured
@@ -216,6 +260,21 @@ type Structure struct {
 	Group   *multicast.Group
 	Circuit *multicast.Circuit
 	Tree    *multicast.Tree
+
+	// Dead marks a structure whose surviving membership fell below two
+	// hosts after failures; sends to it are counted losses.
+	Dead bool
+
+	// orig is the membership as registered, before any failure pruning.
+	orig *multicast.Group
+}
+
+// origGroup returns the membership as registered (before pruning).
+func (st *Structure) origGroup() *multicast.Group {
+	if st.orig != nil {
+		return st.orig
+	}
+	return st.Group
 }
 
 // System wires one Adapter per host onto a fabric and routes protocol
@@ -240,8 +299,12 @@ type System struct {
 
 // NewSystem creates an adapter on every host of the fabric's topology and
 // installs the delivery hooks.  It takes ownership of the fabric's
-// OnDeliver and OnHeadArrival callbacks.
-func NewSystem(k *des.Kernel, f *network.Fabric, t *updown.Table, cfg Config, seed uint64) *System {
+// OnDeliver, OnHeadArrival, and OnDiscard callbacks.  The configuration is
+// validated; an invalid one is an error, not a silent default.
+func NewSystem(k *des.Kernel, f *network.Fabric, t *updown.Table, cfg Config, seed uint64) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s := &System{
 		K: k, F: f, T: t, Cfg: cfg.withDefaults(),
 		adapters: make(map[topology.NodeID]*Adapter),
@@ -253,7 +316,8 @@ func NewSystem(k *des.Kernel, f *network.Fabric, t *updown.Table, cfg Config, se
 	}
 	f.Cfg.OnDeliver = s.onDeliver
 	f.Cfg.OnHeadArrival = s.onHeadArrival
-	return s
+	f.Cfg.OnDiscard = s.onDiscard
+	return s, nil
 }
 
 // Stats returns a snapshot of the system-wide protocol counters.
@@ -294,7 +358,7 @@ func (s *System) AddGroup(g *multicast.Group) (*Structure, error) {
 			return nil, fmt.Errorf("adapter: group %d member %d is not a host", g.ID, m)
 		}
 	}
-	st := &Structure{Group: g}
+	st := &Structure{Group: g, orig: g}
 	switch s.Cfg.Mode {
 	case ModeCircuit:
 		st.Circuit = multicast.NewCircuitByID(g)
@@ -319,11 +383,110 @@ func (s *System) AddGroup(g *multicast.Group) (*Structure, error) {
 // Group returns a registered group structure.
 func (s *System) Group(id int) *Structure { return s.groups[id] }
 
+// Reroute installs a recomputed route table after a topology change and
+// prunes protocol state that references unreachable peers: every multicast
+// structure is rebuilt over the surviving part of its registered
+// membership (marked dead below two members, restored when hosts heal),
+// and outstanding hops whose destination has no surviving route become
+// immediate GiveUps instead of retry loops.  reachable reports whether a
+// host can currently be routed to (updown.Routing.Reachable).
+func (s *System) Reroute(tbl *updown.Table, reachable func(topology.NodeID) bool) {
+	s.T = tbl
+	// Group structures, in ID order for determinism.
+	ids := make([]int, 0, len(s.groups))
+	for id := range s.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st := s.groups[id]
+		orig := st.origGroup()
+		var live []topology.NodeID
+		for _, m := range orig.Members {
+			if reachable(m) {
+				live = append(live, m)
+			}
+		}
+		switch {
+		case len(live) == len(orig.Members):
+			if st.Dead || len(st.Group.Members) != len(orig.Members) {
+				s.rebuildStructure(st, orig) // fully healed
+			}
+		case len(live) < 2:
+			if !st.Dead {
+				st.Dead = true
+				s.stats.GroupsDead++
+			}
+		case len(live) != len(st.Group.Members) || st.Dead:
+			ng, err := multicast.NewGroup(orig.ID, live)
+			if err != nil {
+				st.Dead = true
+				s.stats.GroupsDead++
+				continue
+			}
+			s.rebuildStructure(st, ng)
+			s.stats.GroupsPruned++
+		}
+	}
+	// Outstanding hops, in deterministic (host, transfer, destination)
+	// order: give-up processing re-originates queued transfers, which
+	// draws worm IDs, so the order must not depend on map iteration.
+	for _, hn := range s.F.G.Hosts() {
+		a := s.adapters[hn]
+		var doomed []hopKey
+		for key := range a.outstanding {
+			if !tbl.HasRoute(a.Host, key.dst) {
+				doomed = append(doomed, key)
+			}
+		}
+		sort.Slice(doomed, func(i, j int) bool {
+			if doomed[i].xfer != doomed[j].xfer {
+				return doomed[i].xfer < doomed[j].xfer
+			}
+			return doomed[i].dst < doomed[j].dst
+		})
+		for _, key := range doomed {
+			o := a.outstanding[key]
+			if o.timer != nil {
+				s.K.Cancel(o.timer)
+			}
+			delete(a.outstanding, key)
+			s.stats.PrunedHops++
+			s.stats.GiveUps++
+			a.hopFinished(o.info.Transfer)
+		}
+	}
+}
+
+// rebuildStructure recomputes a group's multicast structure over the given
+// membership.
+func (s *System) rebuildStructure(st *Structure, g *multicast.Group) {
+	st.Group = g
+	st.Dead = false
+	switch s.Cfg.Mode {
+	case ModeCircuit:
+		st.Circuit = multicast.NewCircuitByID(g)
+	case ModeTreeRooted, ModeTreeFlood:
+		tr, err := multicast.NewTreeGreedy(s.F.G, g, 2)
+		if err != nil {
+			st.Dead = true
+			s.stats.GroupsDead++
+			return
+		}
+		st.Tree = tr
+	}
+}
+
 func (s *System) newWormID() int64 { s.nextWorm++; return s.nextWorm }
 
 // sendWorm builds and injects a unicast worm from src to dst with the
-// given Meta.
+// given Meta.  When no surviving route exists the send is abandoned and
+// counted (returns nil); callers must tolerate a nil worm.
 func (s *System) sendWorm(src, dst topology.NodeID, payload int, meta any, pace *flit.Worm) *flit.Worm {
+	if !s.T.HasRoute(src, dst) {
+		s.stats.RouteLost++
+		return nil
+	}
 	rt := s.T.Lookup(src, dst)
 	hdr, err := route.EncodeUnicast(rt.Ports)
 	if err != nil {
@@ -435,6 +598,8 @@ func (a *Adapter) SendUnicast(dst topology.NodeID, payload int) error {
 		return fmt.Errorf("adapter: destination %d is not a host", dst)
 	}
 	a.sys.stats.UnicastsSent++
+	// An unreachable destination (partitioned away by failures) is a
+	// counted loss, not an error: traffic generation must go on.
 	a.sys.sendWorm(a.Host, dst, payload, nil, nil)
 	return nil
 }
@@ -447,7 +612,13 @@ func (a *Adapter) SendMulticast(groupID, payload int) (*Transfer, error) {
 	if st == nil {
 		return nil, fmt.Errorf("adapter: unknown group %d", groupID)
 	}
-	if !st.Group.Contains(a.Host) {
+	if st.Dead || !st.Group.Contains(a.Host) {
+		if st.origGroup().Contains(a.Host) {
+			// The group (or this host's membership) was pruned away by
+			// failures: a counted loss, not a generation error.
+			a.sys.stats.RouteLost++
+			return nil, nil
+		}
 		return nil, fmt.Errorf("adapter: host %d not in group %d", a.Host, groupID)
 	}
 	if payload <= 0 || payload+16 > flit.MaxWormSize {
@@ -466,6 +637,12 @@ func (a *Adapter) SendMulticast(groupID, payload int) (*Transfer, error) {
 // originate starts (or queues) a locally created transfer.
 func (a *Adapter) originate(t *Transfer) {
 	st := a.sys.groups[t.Group]
+	if st.Dead || !st.Group.Contains(a.Host) {
+		// The group (or this host's place in it) was pruned away by
+		// failures while the transfer waited: a counted loss.
+		a.sys.stats.RouteLost++
+		return
+	}
 	succs, toStarter := a.successorsForOrigin(st)
 	if len(succs) == 0 {
 		// Degenerate: sole effective recipient is the local host.
@@ -565,6 +742,14 @@ func (a *Adapter) initialHops(st *Structure) int {
 func (a *Adapter) transmit(info *mcInfo, dst topology.NodeID, pace *flit.Worm) {
 	if a.sys.Cfg.PlainForwarding {
 		a.sys.sendWorm(a.Host, dst, info.Transfer.Payload, info, pace)
+		return
+	}
+	if !a.sys.T.HasRoute(a.Host, dst) {
+		// The successor is unreachable under the current map: a permanent
+		// give-up, not an endless retry loop.
+		a.sys.stats.RouteLost++
+		a.sys.stats.GiveUps++
+		a.hopFinished(info.Transfer)
 		return
 	}
 	key := hopKey{info.Transfer.ID, dst}

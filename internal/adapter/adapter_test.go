@@ -43,7 +43,10 @@ func newTestbed(t *testing.T, g *topology.Graph, cfg Config) *testbed {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tb.sys = NewSystem(tb.k, f, tbl, cfg, 42)
+	tb.sys, err = NewSystem(tb.k, f, tbl, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tb.sys.OnAppDeliver = func(d AppDelivery) {
 		id := int64(0)
 		if d.Transfer != nil {
@@ -465,7 +468,10 @@ func BenchmarkCircuitMulticast10(b *testing.B) {
 	ud, _ := updown.New(g, topology.None)
 	tbl, _ := ud.NewTable(false)
 	f, _ := network.New(k, g, ud, network.Config{})
-	sys := NewSystem(k, f, tbl, Config{Mode: ModeCircuit}, 7)
+	sys, err := NewSystem(k, f, tbl, Config{Mode: ModeCircuit}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
 	hosts := g.Hosts()
 	grp, _ := multicast.NewGroup(1, hosts[:10])
 	sys.AddGroup(grp)

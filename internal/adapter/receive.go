@@ -74,6 +74,29 @@ func (s *System) onHeadArrival(w *flit.Worm, host topology.NodeID, at des.Time) 
 	}
 }
 
+// onDiscard releases the reservation made at head arrival when the fabric
+// discards an incoming worm (truncated by a failure or corrupted on the
+// wire) instead of delivering it.  No ACK is sent, so the upstream sender
+// retransmits; a non-forwarded reservation is released so the retry can
+// land.  A cut-through forward that already started keeps its pinned
+// buffer and its seen mark: the forwards complete via their own
+// retransmission timers, and only the local copy is lost.
+func (s *System) onDiscard(w *flit.Worm, host topology.NodeID, at des.Time) {
+	a := s.adapters[host]
+	if a == nil {
+		return
+	}
+	arr := a.arriving[w]
+	if arr == nil {
+		return // unicast or control worm: no reservation state
+	}
+	delete(a.arriving, w)
+	if arr.accepted && !arr.forwarded && !s.Cfg.PlainForwarding {
+		arr.res.release()
+		a.kickOriginateQ()
+	}
+}
+
 // onDeliver dispatches completed worms: application unicasts, ACK/NACK
 // control worms, and multicast data worms.
 func (s *System) onDeliver(d network.Delivery) {
@@ -187,6 +210,12 @@ func (a *Adapter) nextHops(info *mcInfo) []hop {
 	st := a.sys.groups[info.Transfer.Group]
 	if st == nil {
 		panic(fmt.Sprintf("adapter: transfer for unknown group %d", info.Transfer.Group))
+	}
+	if st.Dead || !st.Group.Contains(a.Host) {
+		// This host was pruned from the structure after the worm was sent
+		// (a stale copy of a pre-failure transfer): deliver locally only,
+		// forward nowhere.
+		return nil
 	}
 	switch a.sys.Cfg.Mode {
 	case ModeCircuit:

@@ -46,13 +46,16 @@ func AblationBufferClasses(seed uint64) ([2]BufferClassResult, error) {
 		if err != nil {
 			return out, err
 		}
-		sys := adapter.NewSystem(k, fab, tbl, adapter.Config{
+		sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
 			Mode:        adapter.ModeCircuit,
 			ClassBytes:  400,
 			NackBackoff: 1024,
 			MaxRetries:  8,
 			SingleClass: single,
 		}, seed)
+		if err != nil {
+			return out, err
+		}
 		var delivered int64
 		sys.OnAppDeliver = func(adapter.AppDelivery) { delivered++ }
 		hosts := g.Hosts()

@@ -55,9 +55,12 @@ func BufferOccupancyStudy(seed uint64, loads []float64) ([]BufferStudyRow, error
 		if err != nil {
 			return nil, err
 		}
-		sys := adapter.NewSystem(k, fab, tbl, adapter.Config{
+		sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
 			Mode: adapter.ModeCircuit,
 		}, seed)
+		if err != nil {
+			return nil, err
+		}
 		hosts := g.Hosts()
 		memberSets, groupsOf, err := traffic.AssignGroups(hosts, 4, 6, seed)
 		if err != nil {

@@ -1,0 +1,341 @@
+// Package fault schedules deterministic failure events against a running
+// fabric and drives recovery: when the topology changes it re-runs the
+// distributed mapper over the surviving subgraph, recomputes the up*/down*
+// labelling (updown.WithoutEdges), rebuilds the route table, and hands the
+// result to the adapter layer via a callback.
+//
+// The paper's Myrinet setting assumes exactly this division of labour: the
+// fabric detects nothing, worms in flight at the moment of a failure are
+// simply lost, and a background mapper daemon notices the change and
+// re-maps.  InjectorConfig.RemapDelay models the daemon's detection plus
+// convergence latency.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"wormlan/internal/des"
+	"wormlan/internal/mapper"
+	"wormlan/internal/network"
+	"wormlan/internal/rng"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// Kind classifies a scheduled fault event.
+type Kind uint8
+
+// Fault event kinds.
+const (
+	// LinkDown kills the full-duplex cable at (Node, Port).
+	LinkDown Kind = iota
+	// LinkUp revives the cable at (Node, Port).
+	LinkUp
+	// SwitchDown crashes switch Node.
+	SwitchDown
+	// SwitchUp restarts switch Node.
+	SwitchUp
+	// CorruptFlit damages one in-flight payload flit (Node is the scan
+	// hint into the link array).
+	CorruptFlit
+	// HostStall freezes host Node's transmit side for Dur byte-times.
+	HostStall
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case SwitchDown:
+		return "switch-down"
+	case SwitchUp:
+		return "switch-up"
+	case CorruptFlit:
+		return "corrupt-flit"
+	case HostStall:
+		return "host-stall"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   des.Time
+	Kind Kind
+	// Node/Port identify the target (see the Kind constants).
+	Node topology.NodeID
+	Port topology.PortID
+	// Dur is the stall duration for HostStall.
+	Dur des.Time
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (p *Plan) Add(e Event) *Plan { p.Events = append(p.Events, e); return p }
+
+// LinkDown schedules a cable kill at time t.
+func (p *Plan) LinkDown(t des.Time, n topology.NodeID, port topology.PortID) *Plan {
+	return p.Add(Event{At: t, Kind: LinkDown, Node: n, Port: port})
+}
+
+// LinkUp schedules a cable revival at time t.
+func (p *Plan) LinkUp(t des.Time, n topology.NodeID, port topology.PortID) *Plan {
+	return p.Add(Event{At: t, Kind: LinkUp, Node: n, Port: port})
+}
+
+// SwitchDown schedules a switch crash at time t.
+func (p *Plan) SwitchDown(t des.Time, n topology.NodeID) *Plan {
+	return p.Add(Event{At: t, Kind: SwitchDown, Node: n})
+}
+
+// SwitchUp schedules a switch restart at time t.
+func (p *Plan) SwitchUp(t des.Time, n topology.NodeID) *Plan {
+	return p.Add(Event{At: t, Kind: SwitchUp, Node: n})
+}
+
+// Corrupt schedules a flit corruption at time t (hint selects the link
+// scan start for determinism).
+func (p *Plan) Corrupt(t des.Time, hint int) *Plan {
+	return p.Add(Event{At: t, Kind: CorruptFlit, Node: topology.NodeID(hint)})
+}
+
+// Stall schedules a host-adapter stall of duration d at time t.
+func (p *Plan) Stall(t des.Time, h topology.NodeID, d des.Time) *Plan {
+	return p.Add(Event{At: t, Kind: HostStall, Node: h, Dur: d})
+}
+
+// Options parameterizes RandomPlan.
+type Options struct {
+	// Seed makes the plan deterministic.
+	Seed uint64
+	// LinkDowns / SwitchDowns / Corruptions / Stalls are the number of
+	// events of each kind to draw.
+	LinkDowns   int
+	SwitchDowns int
+	Corruptions int
+	Stalls      int
+	// Window is the time span [1, Window] over which fault times are
+	// drawn.
+	Window des.Time
+	// Heal, when positive, schedules the matching LinkUp/SwitchUp this
+	// many byte-times after each down event.
+	Heal des.Time
+	// StallDur is the host-stall duration (default Window/8).
+	StallDur des.Time
+}
+
+// RandomPlan draws a deterministic random fault schedule against g.  Link
+// faults are drawn over switch-to-switch cables only (killing a host link
+// just isolates the host; the interesting recovery dynamics are in the
+// fabric core), switch faults over all switches.
+func RandomPlan(g *topology.Graph, o Options) *Plan {
+	r := rng.New(o.Seed, 0x5eed_fa17)
+	if o.Window <= 0 {
+		o.Window = 1 << 16
+	}
+	if o.StallDur <= 0 {
+		o.StallDur = o.Window / 8
+	}
+	at := func() des.Time { return 1 + des.Time(r.Intn(int(o.Window))) }
+
+	// Candidate switch-switch cables, one entry per cable (lower node ID
+	// side), in deterministic order.
+	type cable struct {
+		n topology.NodeID
+		p topology.PortID
+	}
+	var cables []cable
+	for _, sw := range g.Switches() {
+		for pi, p := range g.Node(sw).Ports {
+			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
+				continue
+			}
+			if p.Peer > sw || (p.Peer == sw && p.PeerPort > topology.PortID(pi)) {
+				cables = append(cables, cable{sw, topology.PortID(pi)})
+			}
+		}
+	}
+	switches := g.Switches()
+	hosts := g.Hosts()
+	plan := &Plan{}
+	for i := 0; i < o.LinkDowns && len(cables) > 0; i++ {
+		c := cables[r.Intn(len(cables))]
+		t := at()
+		plan.LinkDown(t, c.n, c.p)
+		if o.Heal > 0 {
+			plan.LinkUp(t+o.Heal, c.n, c.p)
+		}
+	}
+	for i := 0; i < o.SwitchDowns && len(switches) > 0; i++ {
+		sw := switches[r.Intn(len(switches))]
+		t := at()
+		plan.SwitchDown(t, sw)
+		if o.Heal > 0 {
+			plan.SwitchUp(t+o.Heal, sw)
+		}
+	}
+	for i := 0; i < o.Corruptions; i++ {
+		plan.Corrupt(at(), r.Intn(1<<16))
+	}
+	for i := 0; i < o.Stalls && len(hosts) > 0; i++ {
+		plan.Stall(at(), hosts[r.Intn(len(hosts))], o.StallDur)
+	}
+	plan.Sort()
+	return plan
+}
+
+// Sort orders events by time (stable on insertion order for ties).
+func (p *Plan) Sort() {
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+}
+
+// Counters aggregates injector activity.
+type Counters struct {
+	LinkDowns   int64
+	LinkUps     int64
+	SwitchDowns int64
+	SwitchUps   int64
+	Corruptions int64
+	// CorruptMisses counts CorruptFlit events that found no payload flit
+	// in flight to damage.
+	CorruptMisses int64
+	Stalls        int64
+	// Remaps counts successful route recomputations; RemapFailures counts
+	// recomputations that could not produce any routing (e.g. no surviving
+	// switches).
+	Remaps        int64
+	RemapFailures int64
+}
+
+// InjectorConfig parameterizes recovery behaviour.
+type InjectorConfig struct {
+	// RemapDelay is the time between a topology change and the completion
+	// of the mapper daemon's re-map (detection + convergence + table
+	// distribution).  Default 512 byte-times.
+	RemapDelay des.Time
+	// OnRemap receives each recomputed routing and route table; the
+	// adapter layer installs them (see adapter.System.Reroute).
+	OnRemap func(ud *updown.Routing, tbl *updown.Table)
+}
+
+// Injector replays a Plan against a fabric on its kernel and performs
+// route recovery after every topology change.
+type Injector struct {
+	K   *des.Kernel
+	F   *network.Fabric
+	Cfg InjectorConfig
+
+	ctr          Counters
+	remapPending bool
+}
+
+// NewInjector schedules every event of the plan on the kernel and returns
+// the injector.  Call before running the kernel.
+func NewInjector(k *des.Kernel, f *network.Fabric, plan *Plan, cfg InjectorConfig) *Injector {
+	if cfg.RemapDelay <= 0 {
+		cfg.RemapDelay = 512
+	}
+	inj := &Injector{K: k, F: f, Cfg: cfg}
+	for _, e := range plan.Events {
+		ev := e
+		k.At(ev.At, func() { inj.apply(ev) })
+	}
+	return inj
+}
+
+// Counters returns a snapshot of injector activity.
+func (inj *Injector) Counters() Counters { return inj.ctr }
+
+func (inj *Injector) apply(e Event) {
+	switch e.Kind {
+	case LinkDown:
+		if err := inj.F.FailLink(e.Node, e.Port); err == nil {
+			inj.ctr.LinkDowns++
+			inj.scheduleRemap()
+		}
+	case LinkUp:
+		if err := inj.F.RestoreLink(e.Node, e.Port); err == nil {
+			inj.ctr.LinkUps++
+			inj.scheduleRemap()
+		}
+	case SwitchDown:
+		if err := inj.F.FailSwitch(e.Node); err == nil {
+			inj.ctr.SwitchDowns++
+			inj.scheduleRemap()
+		}
+	case SwitchUp:
+		if err := inj.F.RestoreSwitch(e.Node); err == nil {
+			inj.ctr.SwitchUps++
+			inj.scheduleRemap()
+		}
+	case CorruptFlit:
+		if inj.F.CorruptOnLink(int(e.Node)) {
+			inj.ctr.Corruptions++
+		} else {
+			inj.ctr.CorruptMisses++
+		}
+	case HostStall:
+		if err := inj.F.StallHost(e.Node, inj.K.Now()+e.Dur); err == nil {
+			inj.ctr.Stalls++
+		}
+	}
+}
+
+// scheduleRemap coalesces topology changes: one re-map fires RemapDelay
+// after the first change of a burst (the mapper daemon converges once over
+// whatever the fabric looks like then).
+func (inj *Injector) scheduleRemap() {
+	if inj.remapPending {
+		return
+	}
+	inj.remapPending = true
+	inj.K.After(inj.Cfg.RemapDelay, func() {
+		inj.remapPending = false
+		inj.Remap()
+	})
+}
+
+// Remap runs the recovery pipeline now: distributed mapper over the
+// surviving subgraph, up/down relabelling, route table rebuild, and the
+// OnRemap callback.  Stranded switches (partitioned from the elected root)
+// are treated as unreachable by adding them to the failure set used for
+// the relabelling.
+func (inj *Injector) Remap() {
+	fail := inj.F.Failures()
+	failedLinks := make(map[mapper.LinkID]bool, len(fail.Links))
+	for e := range fail.Links {
+		failedLinks[mapper.LinkID{Node: e.Node, Port: e.Port}] = true
+	}
+	res, err := mapper.RunSurviving(inj.F.G, failedLinks, fail.Switches)
+	if err != nil {
+		inj.ctr.RemapFailures++
+		return
+	}
+	for _, st := range res.Unmapped {
+		fail.FailSwitch(st.Switch)
+	}
+	ud, err := updown.WithoutEdges(inj.F.G, res.Root, fail)
+	if err != nil {
+		inj.ctr.RemapFailures++
+		return
+	}
+	tbl, err := ud.NewTableSurviving(false)
+	if err != nil {
+		inj.ctr.RemapFailures++
+		return
+	}
+	inj.F.SetRouting(ud)
+	inj.ctr.Remaps++
+	if inj.Cfg.OnRemap != nil {
+		inj.Cfg.OnRemap(ud, tbl)
+	}
+}

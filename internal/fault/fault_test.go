@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+func TestRandomPlanDeterministicAndSorted(t *testing.T) {
+	g := topology.Torus(4, 4, 1, 1)
+	opts := Options{Seed: 99, LinkDowns: 3, SwitchDowns: 2, Corruptions: 2, Stalls: 2, Heal: 500}
+	p1 := RandomPlan(g, opts)
+	p2 := RandomPlan(g, opts)
+	if !reflect.DeepEqual(p1.Events, p2.Events) {
+		t.Fatalf("same seed, different plans:\n%v\n%v", p1.Events, p2.Events)
+	}
+	if len(p1.Events) == 0 {
+		t.Fatal("empty plan")
+	}
+	counts := map[Kind]int{}
+	for i, e := range p1.Events {
+		counts[e.Kind]++
+		if i > 0 && e.At < p1.Events[i-1].At {
+			t.Fatalf("plan not time-sorted at %d: %v", i, p1.Events)
+		}
+	}
+	if counts[LinkDown] != 3 || counts[SwitchDown] != 2 ||
+		counts[LinkUp] != 3 || counts[SwitchUp] != 2 ||
+		counts[CorruptFlit] != 2 || counts[HostStall] != 2 {
+		t.Fatalf("event mix %v", counts)
+	}
+	// Link faults must target switch-to-switch cables only.
+	for _, e := range p1.Events {
+		if e.Kind != LinkDown && e.Kind != LinkUp {
+			continue
+		}
+		n := g.Node(e.Node)
+		if n.Kind != topology.Switch || g.Node(n.Ports[e.Port].Peer).Kind != topology.Switch {
+			t.Fatalf("link fault on non-cable %v", e)
+		}
+	}
+}
+
+func TestRandomPlanDifferentSeedsDiffer(t *testing.T) {
+	g := topology.Torus(4, 4, 1, 1)
+	p1 := RandomPlan(g, Options{Seed: 1, LinkDowns: 4, SwitchDowns: 2})
+	p2 := RandomPlan(g, Options{Seed: 2, LinkDowns: 4, SwitchDowns: 2})
+	if reflect.DeepEqual(p1.Events, p2.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		LinkDown: "link-down", LinkUp: "link-up",
+		SwitchDown: "switch-down", SwitchUp: "switch-up",
+		CorruptFlit: "corrupt-flit", HostStall: "host-stall",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(42).String(); got != "kind(42)" {
+		t.Errorf("unknown kind = %q", got)
+	}
+}

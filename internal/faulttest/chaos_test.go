@@ -1,0 +1,194 @@
+package faulttest
+
+// Chaos tests: seeded random failure schedules (link kills, switch
+// crashes, flit corruption, host stalls) against live reliable traffic on
+// the paper's two reference fabrics.  After the storm the system must
+// have recomputed valid up*/down* routes over the survivors, conserved
+// every worm (delivered or counted dropped), drained to quiescence with
+// no held channels, and behaved identically across reruns of the same
+// seed.
+
+import (
+	"testing"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/fault"
+	"wormlan/internal/topology"
+	"wormlan/internal/traffic"
+)
+
+// chaosConfig keeps retries finite and timeouts short so give-ups resolve
+// well before the drain deadline.
+func chaosConfig() adapter.Config {
+	return adapter.Config{
+		Mode:           adapter.ModeCircuit,
+		CutThrough:     true,
+		MaxRetries:     3,
+		AckTimeoutBase: 16384,
+		NackBackoff:    2048,
+	}
+}
+
+// runChaos executes one full chaos scenario and returns its outcome.
+func runChaos(t *testing.T, build func() *topology.Graph, opts fault.Options) Outcome {
+	t.Helper()
+	g := build()
+	plan := fault.RandomPlan(g, opts)
+	b := New(t, g, chaosConfig(), plan, fault.InjectorConfig{})
+
+	hosts := g.Hosts()
+	grpA := b.AddGroup(0, hosts[:len(hosts)/2])
+	grpB := b.AddGroup(1, hosts[len(hosts)/3:])
+	groupsOf := map[topology.NodeID][]int{}
+	for _, h := range grpA.Members {
+		groupsOf[h] = append(groupsOf[h], 0)
+	}
+	for _, h := range grpB.Members {
+		groupsOf[h] = append(groupsOf[h], 1)
+	}
+	gen, err := traffic.New(b.K, traffic.Config{
+		OfferedLoad:   0.02,
+		MeanWorm:      300,
+		MulticastProb: 0.2,
+		Until:         des.Time(opts.Window) * 2,
+	}, hosts, groupsOf, b.Sys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+
+	b.Run(des.Time(opts.Window) * 40)
+
+	// The schedule must actually have hit the fabric mid-run.
+	ic := b.Inj.Counters()
+	if ic.LinkDowns < 1 {
+		t.Fatalf("chaos plan killed no links: %+v", ic)
+	}
+	if ic.SwitchDowns < 1 {
+		t.Fatalf("chaos plan killed no switches: %+v", ic)
+	}
+	if ic.Remaps < 1 {
+		t.Fatalf("no remap completed: %+v", ic)
+	}
+	worms, _, _ := gen.Generated()
+	if worms == 0 {
+		t.Fatal("no traffic generated")
+	}
+	if b.UniDelivered == 0 {
+		t.Fatal("no unicast deliveries survived the storm")
+	}
+
+	b.CheckConservation()
+	b.CheckNoHeldChannels()
+	b.CheckRoutes()
+	return b.Outcome()
+}
+
+// assertDeterministic reruns the scenario and compares outcomes.
+func assertDeterministic(t *testing.T, build func() *topology.Graph, opts fault.Options) {
+	t.Helper()
+	first := runChaos(t, build, opts)
+	second := runChaos(t, build, opts)
+	if first != second {
+		t.Fatalf("chaos run not deterministic:\n first=%+v\nsecond=%+v", first, second)
+	}
+	fc := first.Fabric
+	if fc.WormsDropped == 0 {
+		t.Fatalf("storm dropped no worms — faults never touched traffic: %+v", fc)
+	}
+	// Bounded loss: the storm may cost worms, but most traffic survives.
+	if fc.Delivered <= fc.WormsDropped {
+		t.Fatalf("unbounded loss: delivered %d <= dropped %d", fc.Delivered, fc.WormsDropped)
+	}
+}
+
+func TestChaosTorus(t *testing.T) {
+	assertDeterministic(t,
+		func() *topology.Graph { return topology.Torus(8, 8, 1, 1) },
+		fault.Options{
+			Seed:        42,
+			LinkDowns:   3,
+			SwitchDowns: 1,
+			Corruptions: 4,
+			Stalls:      2,
+			Window:      30_000,
+		})
+}
+
+func TestChaosShufflenet(t *testing.T) {
+	assertDeterministic(t,
+		func() *topology.Graph { return topology.BidirShufflenet(2, 3, 1000) },
+		fault.Options{
+			Seed:        7,
+			LinkDowns:   2,
+			SwitchDowns: 1,
+			Corruptions: 4,
+			Stalls:      2,
+			Window:      30_000,
+		})
+}
+
+func TestChaosTorusWithHealing(t *testing.T) {
+	// Downs heal after a delay: the injector must restore links and
+	// switches, trigger re-maps back toward the full topology, and the
+	// adapter layer must re-admit healed group members.
+	assertDeterministic(t,
+		func() *topology.Graph { return topology.Torus(8, 8, 1, 1) },
+		fault.Options{
+			Seed:        1234,
+			LinkDowns:   3,
+			SwitchDowns: 1,
+			Corruptions: 2,
+			Stalls:      1,
+			Window:      30_000,
+			Heal:        20_000,
+		})
+}
+
+// TestChaosTargeted pins an explicit schedule: kill a known cable and a
+// known switch, then verify the counters attribute the damage.
+func TestChaosTargeted(t *testing.T) {
+	g := topology.Torus(8, 8, 1, 1)
+	sw := g.Switches()
+	victim := sw[len(sw)/2]
+	plan := (&fault.Plan{}).
+		LinkDown(5_000, sw[3], 0).
+		SwitchDown(9_000, victim)
+	b := New(t, g, chaosConfig(), plan, fault.InjectorConfig{})
+
+	hosts := g.Hosts()
+	gen, err := traffic.New(b.K, traffic.Config{
+		OfferedLoad: 0.02,
+		MeanWorm:    300,
+		Until:       40_000,
+	}, hosts, nil, b.Sys, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start()
+	b.Run(1_500_000)
+
+	if e := b.F.TopologyEpoch(); e != 2 {
+		t.Fatalf("epoch %d after two topology changes", e)
+	}
+	fail := b.F.Failures()
+	if !fail.Switches[victim] {
+		t.Fatalf("switch %d not recorded as failed", victim)
+	}
+	ic := b.Inj.Counters()
+	if ic.LinkDowns != 1 || ic.SwitchDowns != 1 || ic.Remaps < 1 {
+		t.Fatalf("injector counters: %+v", ic)
+	}
+	b.CheckConservation()
+	b.CheckNoHeldChannels()
+	b.CheckRoutes()
+
+	// The dead switch's hosts are unreachable, everyone else routable.
+	for _, h := range hosts {
+		att := g.Node(h).Ports[0].Peer
+		if att == victim && b.UD.Reachable(h) {
+			t.Fatalf("host %d on dead switch %d still reachable", h, victim)
+		}
+	}
+}

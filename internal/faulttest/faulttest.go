@@ -1,0 +1,190 @@
+// Package faulttest wires a full stack (distributed mapper, up*/down*
+// routing, byte-level fabric, host adapters) together with a fault
+// injector, so chaos tests can run a deterministic failure schedule
+// against live traffic and then check the system-wide invariants:
+// conservation of worms, route validity after recovery, absence of
+// deadlock, and no leaked held channels.
+package faulttest
+
+import (
+	"testing"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/fault"
+	"wormlan/internal/mapper"
+	"wormlan/internal/multicast"
+	"wormlan/internal/network"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// Bench is one fully wired LAN plus its fault injector.
+type Bench struct {
+	TB  testing.TB
+	K   *des.Kernel
+	G   *topology.Graph
+	F   *network.Fabric
+	Sys *adapter.System
+	Inj *fault.Injector
+
+	// UD/Tbl track the routing currently installed (replaced on every
+	// successful remap).
+	UD  *updown.Routing
+	Tbl *updown.Table
+
+	// Delivery observations.
+	UniDelivered int64
+	McDelivered  map[int64]int // transfer ID -> copies delivered
+}
+
+// New builds the stack over g and schedules plan against it.  The injector
+// is wired so that every topology change re-runs the mapper and installs
+// the recomputed routing into both the fabric and the adapter layer.
+func New(tb testing.TB, g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig) *Bench {
+	tb.Helper()
+	b := &Bench{TB: tb, K: des.NewKernel(), G: g, McDelivered: map[int64]int{}}
+
+	m, err := mapper.Run(g, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.UD, err = updown.New(g, m.Root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Tbl, err = b.UD.NewTable(false)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.F, err = network.New(b.K, g, b.UD, network.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Sys, err = adapter.NewSystem(b.K, b.F, b.Tbl, acfg, 77)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.Sys.OnAppDeliver = func(d adapter.AppDelivery) {
+		if d.Transfer != nil {
+			b.McDelivered[d.Transfer.ID]++
+		} else {
+			b.UniDelivered++
+		}
+	}
+	if icfg.OnRemap == nil {
+		icfg.OnRemap = func(ud *updown.Routing, tbl *updown.Table) {
+			b.UD, b.Tbl = ud, tbl
+			b.Sys.Reroute(tbl, ud.Reachable)
+		}
+	}
+	b.Inj = fault.NewInjector(b.K, b.F, plan, icfg)
+	return b
+}
+
+// AddGroup registers a multicast group over the given members.
+func (b *Bench) AddGroup(id int, members []topology.NodeID) *multicast.Group {
+	b.TB.Helper()
+	grp, err := multicast.NewGroup(id, members)
+	if err != nil {
+		b.TB.Fatal(err)
+	}
+	if _, err := b.Sys.AddGroup(grp); err != nil {
+		b.TB.Fatal(err)
+	}
+	return grp
+}
+
+// Run drives the kernel and fails the test if the simulation does not
+// drain before the deadline: with capped retries every protocol activity
+// is finite, so hitting the deadline means the fabric (or a retry loop)
+// wedged.
+func (b *Bench) Run(deadline des.Time) {
+	b.TB.Helper()
+	if err := b.K.Run(deadline); err != nil {
+		b.TB.Fatalf("kernel error: %v", err)
+	}
+	if n := b.K.Pending(); n != 0 {
+		b.TB.Fatalf("simulation did not drain by t=%d: %d events pending (deadlock?)\n%s",
+			deadline, n, b.F.StallReport())
+	}
+}
+
+// CheckConservation asserts the fabric-level worm conservation law: every
+// injected worm was either delivered or counted as dropped.  (Valid for
+// adapter-level protocols, where every fabric worm is a unicast.)
+func (b *Bench) CheckConservation() {
+	b.TB.Helper()
+	ctr := b.F.Counters()
+	if ctr.Injected != ctr.Delivered+ctr.WormsDropped {
+		b.TB.Fatalf("conservation violated: injected %d != delivered %d + dropped %d",
+			ctr.Injected, ctr.Delivered, ctr.WormsDropped)
+	}
+}
+
+// CheckNoHeldChannels asserts that no switch output is still bound to a
+// worm — the wormhole equivalent of a leaked lock.
+func (b *Bench) CheckNoHeldChannels() {
+	b.TB.Helper()
+	if held := b.F.HeldChannels(); len(held) != 0 {
+		for w, chans := range held {
+			b.TB.Errorf("worm %d still holds %v", w.ID, chans)
+		}
+		b.TB.Fatalf("%d worms hold channels after drain\n%s", len(held), b.F.StallReport())
+	}
+}
+
+// CheckRoutes verifies, for every ordered pair of reachable hosts, that
+// the surviving route table has a route and that it is valid over the
+// surviving subgraph (crosses no failed link, respects up*/down*).
+func (b *Bench) CheckRoutes() {
+	b.TB.Helper()
+	hosts := b.G.Hosts()
+	checked := 0
+	for _, src := range hosts {
+		for _, dst := range hosts {
+			if src == dst || !b.UD.Reachable(src) || !b.UD.Reachable(dst) {
+				continue
+			}
+			rt := b.Tbl.Lookup(src, dst)
+			if len(rt.Ports) == 0 {
+				b.TB.Fatalf("no surviving route %d -> %d", src, dst)
+			}
+			if err := b.UD.VerifyRoute(rt); err != nil {
+				b.TB.Fatalf("route %d -> %d invalid after recovery: %v", src, dst, err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		b.TB.Fatal("no reachable host pairs survived — nothing verified")
+	}
+}
+
+// Outcome is a comparable summary of one chaos run, for determinism
+// checks (two runs with the same seed must produce identical outcomes).
+type Outcome struct {
+	Fabric  network.Counters
+	Adapter adapter.Stats
+	Inject  fault.Counters
+	Epoch   int64
+	Uni     int64
+	McCount int
+	McSum   int
+}
+
+// Outcome snapshots the run's observable state.
+func (b *Bench) Outcome() Outcome {
+	o := Outcome{
+		Fabric:  b.F.Counters(),
+		Adapter: b.Sys.Stats(),
+		Inject:  b.Inj.Counters(),
+		Epoch:   b.F.TopologyEpoch(),
+		Uni:     b.UniDelivered,
+		McCount: len(b.McDelivered),
+	}
+	for _, c := range b.McDelivered {
+		o.McSum += c
+	}
+	return o
+}

@@ -104,6 +104,12 @@ type Worm struct {
 	// Injected is when its head flit first entered the network.
 	Created, Injected des.Time
 
+	// Epoch is the fabric topology epoch at injection time.  A worm whose
+	// epoch is behind the fabric's current epoch carries a source route
+	// computed before a failure; the fabric counts (rather than silently
+	// mis-delivers) such stale worms when their route hits a dead link.
+	Epoch int64
+
 	// Meta carries adapter- or application-level context through the
 	// fabric untouched.
 	Meta any
@@ -120,6 +126,12 @@ type Worm struct {
 	// byte i only once PaceFrom.RxProgress exceeds i, and the tail only
 	// once PaceFrom.RxDone — a retransmission cannot outrun its reception.
 	PaceFrom *Worm
+
+	// RxAborted is set when this worm's reception was abandoned (its copy
+	// was truncated by a link failure or discarded as corrupt).  A
+	// cut-through forward paced against an aborted worm can never finish
+	// and must itself be aborted.
+	RxAborted bool
 }
 
 // WireSize returns the number of flits the worm occupies on the wire at
@@ -149,6 +161,12 @@ type Flit struct {
 	Kind Kind
 	// B is the header byte value; meaningful only when Kind == Header.
 	B byte
+	// Bad marks a damaged flit.  A Bad payload flit models wire corruption
+	// (the receiving host discards the worm on checksum failure); a Bad
+	// tail is the fabric's forward-reset marker, synthesized to terminate a
+	// worm truncated by a link or switch failure so that downstream state
+	// tears down instead of waiting forever.
+	Bad bool
 }
 
 // String renders the flit for traces.
@@ -169,6 +187,7 @@ type Stream struct {
 	header  []byte
 	hi      int // next header byte index
 	payload int // payload flits remaining
+	sent    int // flits emitted so far
 	done    bool
 }
 
@@ -194,8 +213,13 @@ func (s *Stream) Next() (f Flit, ok bool) {
 		f = Flit{W: s.W, Kind: Tail}
 		s.done = true
 	}
+	s.sent++
 	return f, true
 }
+
+// Started reports whether the stream has emitted at least one flit — i.e.
+// whether aborting it requires a terminating tail on the wire.
+func (s *Stream) Started() bool { return s.sent > 0 }
 
 // Remaining returns how many flits the stream will still produce.
 func (s *Stream) Remaining() int {
@@ -238,6 +262,9 @@ type Reassembler struct {
 	headerIn int
 	// Fragments counts tail-terminated segments seen for this worm.
 	Fragments int
+	// Corrupt is set when any fed flit carried the Bad mark; the worm must
+	// be discarded on completion (checksum failure at the receiver).
+	Corrupt bool
 }
 
 // Feed consumes one flit.  done is true when a tail flit arrives.
@@ -246,6 +273,9 @@ func (r *Reassembler) Feed(f Flit) (done bool, err error) {
 		r.w = f.W
 	} else if r.w != f.W {
 		return false, fmt.Errorf("flit: interleaved worms %d and %d at reassembler", r.w.ID, f.W.ID)
+	}
+	if f.Bad {
+		r.Corrupt = true
 	}
 	switch f.Kind {
 	case Header:

@@ -53,6 +53,17 @@ type Result struct {
 	// the simulation time of the last state change.
 	Messages    int
 	ConvergedAt des.Time
+
+	// Unmapped lists live switches partitioned away from the elected
+	// root's component (RunSurviving only; each entry carries the root its
+	// component converged to).  Their Level stays -1.
+	Unmapped []Stranded
+}
+
+// Stranded is a live switch cut off from the elected root.
+type Stranded struct {
+	Switch topology.NodeID
+	Root   topology.NodeID
 }
 
 // node is the per-switch protocol state.
@@ -68,6 +79,26 @@ type node struct {
 // passing either direction suffices).  It returns an error if the
 // surviving topology is disconnected.
 func Run(g *topology.Graph, failed map[LinkID]bool) (*Result, error) {
+	res, err := RunSurviving(g, failed, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Unmapped) > 0 {
+		return nil, fmt.Errorf("mapper: switch %d converged to root %d, not %d (disconnected?)",
+			res.Unmapped[0].Switch, res.Unmapped[0].Root, res.Root)
+	}
+	return res, nil
+}
+
+// RunSurviving runs the mapping protocol over the surviving subgraph:
+// switches in deadSwitch neither claim nor relay (a crashed switch is
+// silent on every port), and failed links carry no claims.  Unlike Run it
+// tolerates partitions — the returned map is rooted in the component of
+// the lowest-numbered live switch, and live switches stranded in other
+// components are reported in Result.Unmapped with Level -1 rather than
+// failing the whole mapping.
+func RunSurviving(g *topology.Graph, failed map[LinkID]bool,
+	deadSwitch map[topology.NodeID]bool) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mapper: %w", err)
 	}
@@ -80,7 +111,7 @@ func Run(g *topology.Graph, failed map[LinkID]bool) (*Result, error) {
 	for i := range g.Nodes {
 		res.Parent[i] = topology.None
 		res.Level[i] = -1
-		if g.Nodes[i].Kind == topology.Switch {
+		if g.Nodes[i].Kind == topology.Switch && !deadSwitch[topology.NodeID(i)] {
 			nodes[i] = &node{
 				id:     topology.NodeID(i),
 				best:   claim{Root: topology.NodeID(i), Dist: 0},
@@ -105,6 +136,9 @@ func Run(g *topology.Graph, failed map[LinkID]bool) (*Result, error) {
 	send := func(from *node) {
 		for pi, p := range g.Node(from.id).Ports {
 			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
+				continue
+			}
+			if nodes[p.Peer] == nil { // crashed switch: claims fall on deaf ears
 				continue
 			}
 			if linkDown(from.id, topology.PortID(pi)) {
@@ -148,13 +182,18 @@ func Run(g *topology.Graph, failed map[LinkID]bool) (*Result, error) {
 			root = n.best.Root
 		}
 	}
+	if root == topology.None {
+		return nil, fmt.Errorf("mapper: no surviving switches")
+	}
 	for _, n := range nodes {
 		if n == nil {
 			continue
 		}
 		if n.best.Root != root {
-			return nil, fmt.Errorf("mapper: switch %d converged to root %d, not %d (disconnected?)",
-				n.id, n.best.Root, root)
+			// A live switch in another partition: mappable locally but cut
+			// off from the elected root.  Leave it at Level -1.
+			res.Unmapped = append(res.Unmapped, Stranded{Switch: n.id, Root: n.best.Root})
+			continue
 		}
 		res.Parent[n.id] = n.parent
 		res.Level[n.id] = n.best.Dist
@@ -174,6 +213,9 @@ func (r *Result) Verify(g *topology.Graph, failed map[LinkID]bool) error {
 	for _, sw := range g.Switches() {
 		if sw == r.Root {
 			continue
+		}
+		if r.Level[sw] < 0 {
+			continue // dead or stranded switch: not part of this map
 		}
 		p := r.Parent[sw]
 		if p == topology.None {

@@ -72,6 +72,8 @@ func (m portMode) String() string {
 		return "multicast"
 	case pmFlush:
 		return "flush"
+	case pmDrop:
+		return "drop"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}

@@ -1,0 +1,96 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+func TestHeldChannelsAndStallReportMidFlight(t *testing.T) {
+	// A long worm crossing Line(2): freeze the simulation mid-transit and
+	// the diagnostics must show exactly the channels the worm holds; after
+	// the drain they must be clean.
+	g := topology.Line(2, 1)
+	r := newRig(t, g, Config{})
+	hosts := g.Hosts()
+	w := r.unicast(t, hosts[0], hosts[1], 200)
+	if err := r.f.Inject(hosts[0], w); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 30) // the 203-flit worm is still streaming
+
+	held := r.f.HeldChannels()
+	chans := held[w]
+	if len(chans) != 2 {
+		t.Fatalf("worm holds %d channels mid-flight, want 2 (one per switch): %v", len(chans), chans)
+	}
+	for _, c := range chans {
+		if g.Node(c.Switch).Kind != topology.Switch {
+			t.Fatalf("held channel on non-switch node %d", c.Switch)
+		}
+	}
+
+	rep := r.f.StallReport()
+	for _, want := range []string{"mode=unicast", "bound to in[", "sending=true"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("stall report missing %q:\n%s", want, rep)
+		}
+	}
+
+	r.run(t, 0)
+	if held := r.f.HeldChannels(); len(held) != 0 {
+		t.Fatalf("channels leaked after drain: %v", held)
+	}
+	if len(r.deliveries) != 1 {
+		t.Fatalf("deliveries = %d", len(r.deliveries))
+	}
+}
+
+func TestStallReportShowsBlockedWorm(t *testing.T) {
+	// Two worms racing for the same output: the loser parks in pmWait and
+	// the report must say what it wants.
+	g := topology.Star(3)
+	r := newRig(t, g, Config{})
+	hosts := g.Hosts()
+	w1 := r.unicast(t, hosts[0], hosts[2], 300)
+	w2 := r.unicast(t, hosts[1], hosts[2], 300)
+	if err := r.f.Inject(hosts[0], w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Inject(hosts[1], w2); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 50) // w1 owns the output to hosts[2]; w2 is waiting
+
+	rep := r.f.StallReport()
+	if !strings.Contains(rep, "mode=wait") || !strings.Contains(rep, "wants=") {
+		t.Fatalf("stall report does not show the blocked worm:\n%s", rep)
+	}
+	if len(r.f.HeldChannels()) == 0 {
+		t.Fatal("no held channels while a worm owns an output")
+	}
+
+	r.run(t, 0)
+	if len(r.f.HeldChannels()) != 0 {
+		t.Fatal("channels leaked after drain")
+	}
+	if len(r.deliveries) != 2 {
+		t.Fatalf("deliveries = %d", len(r.deliveries))
+	}
+}
+
+func TestPortModeStrings(t *testing.T) {
+	for m, want := range map[portMode]string{
+		pmIdle: "idle", pmCollect: "collect", pmWait: "wait",
+		pmBoundUni: "unicast", pmBoundMC: "multicast",
+		pmFlush: "flush", pmDrop: "drop",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("portMode %d = %q, want %q", m, got, want)
+		}
+	}
+	if got := portMode(99).String(); got != "mode(99)" {
+		t.Errorf("unknown mode = %q", got)
+	}
+}

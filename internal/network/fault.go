@@ -1,0 +1,335 @@
+package network
+
+// Fault injection and teardown.
+//
+// The failure model (see DESIGN.md §Failure model) is a *forward reset*
+// discipline rather than the literal assert-STOP-forever a broken Myrinet
+// cable would produce: asserting STOP forever on a wormhole path wedges
+// every worm behind it into a permanent deadlock, which is exactly the
+// state the mapper daemon exists to clear.  Instead:
+//
+//   - A dead link black-holes flits sent into it (dlink.send), so upstream
+//     worm sources drain instead of wedging.  In-flight flits are dropped
+//     at fail time.
+//   - The downstream stub of a worm truncated by the failure is terminated
+//     by a synthetic Bad tail, which propagates through bound switch ports
+//     tearing down their bindings, and is discarded at the receiving host
+//     (TruncatedDrops).
+//   - A dead switch additionally wipes its own port state, counting every
+//     worm copy held in its slack buffers as dropped.
+//
+// Every worm copy lost this way passes through dropWorm exactly once
+// (deduplicated by worm pointer), preserving the conservation law
+// Injected == Delivered + WormsDropped for unicast traffic.
+
+import (
+	"fmt"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// TopologyEpoch returns the current topology epoch.  It starts at zero and
+// is bumped by every FailLink/RestoreLink/FailSwitch/RestoreSwitch, and
+// worms are stamped with it at injection; a worm whose epoch is behind the
+// fabric's carries a route computed against a stale map.
+func (f *Fabric) TopologyEpoch() int64 { return f.epoch }
+
+// Failures returns a snapshot of the current failure set, suitable as
+// input to updown.WithoutEdges / mapper.RunSurviving.
+func (f *Fabric) Failures() *updown.Failures { return f.fail.Clone() }
+
+// SetRouting installs a (re)computed up/down labelling, used by Broadcast
+// worms and by diagnostics.  Unicast and multicast-tree routes are carried
+// in worm headers and are re-derived by callers from the same labelling.
+func (f *Fabric) SetRouting(ud *updown.Routing) { f.UD = ud }
+
+// dropWorm records the loss of a worm copy, exactly once per copy.
+func (f *Fabric) dropWorm(w *flit.Worm) {
+	if w == nil || f.dropped[w] {
+		return
+	}
+	f.dropped[w] = true
+	w.RxAborted = true
+	f.ctr.WormsDropped++
+}
+
+// FailLink kills the full-duplex cable attached to port p of node n: both
+// directions stop carrying data, in-flight flits are lost, and worms cut
+// in half by the failure are terminated with a forward reset.
+func (f *Fabric) FailLink(n topology.NodeID, p topology.PortID) error {
+	port := f.G.Node(n).Ports[p]
+	if !port.Wired() {
+		return fmt.Errorf("network: port %d of node %d is not wired", p, n)
+	}
+	if f.fail.Links[updown.Edge{Node: n, Port: p}] {
+		return fmt.Errorf("network: link at port %d of node %d already failed", p, n)
+	}
+	f.fail.FailLink(f.G, n, p)
+	f.applyLiveness()
+	f.epoch++
+	f.activate()
+	return nil
+}
+
+// RestoreLink revives the cable attached to port p of node n.  The cable
+// only actually carries data again once both endpoint switches are alive.
+func (f *Fabric) RestoreLink(n topology.NodeID, p topology.PortID) error {
+	port := f.G.Node(n).Ports[p]
+	if !port.Wired() {
+		return fmt.Errorf("network: port %d of node %d is not wired", p, n)
+	}
+	if !f.fail.Links[updown.Edge{Node: n, Port: p}] {
+		return fmt.Errorf("network: link at port %d of node %d is not failed", p, n)
+	}
+	delete(f.fail.Links, updown.Edge{Node: n, Port: p})
+	delete(f.fail.Links, updown.Edge{Node: port.Peer, Port: port.PeerPort})
+	f.applyLiveness()
+	f.epoch++
+	f.activate()
+	return nil
+}
+
+// FailSwitch crashes switch n: every attached cable goes dead and every
+// worm copy held in the switch is lost.
+func (f *Fabric) FailSwitch(n topology.NodeID) error {
+	s := f.sw[n]
+	if s == nil {
+		return fmt.Errorf("network: node %d is not a switch", n)
+	}
+	if s.dead {
+		return fmt.Errorf("network: switch %d already failed", n)
+	}
+	f.fail.FailSwitch(n)
+	s.dead = true
+	f.wipeSwitch(s)
+	f.applyLiveness()
+	f.epoch++
+	f.activate()
+	return nil
+}
+
+// RestoreSwitch restarts switch n with empty buffers.  Cables to other
+// dead switches (or explicitly failed cables) stay dead.
+func (f *Fabric) RestoreSwitch(n topology.NodeID) error {
+	s := f.sw[n]
+	if s == nil {
+		return fmt.Errorf("network: node %d is not a switch", n)
+	}
+	if !s.dead {
+		return fmt.Errorf("network: switch %d is not failed", n)
+	}
+	delete(f.fail.Switches, n)
+	s.dead = false
+	f.applyLiveness()
+	f.epoch++
+	f.activate()
+	return nil
+}
+
+// StallHost suspends the transmit side of host h's interface until the
+// given time (a host-adapter stall: DMA engine wedged, driver busy).  The
+// receive side keeps accepting flits — the paper's simulator propagates no
+// backpressure from the host adapter into the network.
+func (f *Fabric) StallHost(h topology.NodeID, until des.Time) error {
+	hi := f.hosts[h]
+	if hi == nil {
+		return fmt.Errorf("network: node %d is not a host", h)
+	}
+	if until > hi.stalledUntil {
+		hi.stalledUntil = until
+	}
+	f.activate()
+	return nil
+}
+
+// CorruptOnLink damages one in-flight payload flit, scanning links from
+// index hint (mod the link count) for determinism.  It returns false when
+// no link currently carries a payload flit to corrupt.  The receiving host
+// detects the damage on checksum at reassembly and discards the worm.
+func (f *Fabric) CorruptOnLink(hint int) bool {
+	n := len(f.links)
+	if n == 0 {
+		return false
+	}
+	if hint < 0 {
+		hint = -hint
+	}
+	for k := 0; k < n; k++ {
+		l := f.links[(hint+k)%n]
+		if l.dead {
+			continue
+		}
+		for s := 0; s < l.delay; s++ {
+			if l.occ[s] && l.pipe[s].Kind == flit.Payload && !l.pipe[s].Bad {
+				l.pipe[s].Bad = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applyLiveness reconciles every directional link's dead flag with the
+// failure set, killing newly-dead links and reviving newly-live ones.
+func (f *Fabric) applyLiveness() {
+	for _, l := range f.links {
+		want := f.fail.LinkDead(f.G, l.srcNode, l.srcPort)
+		switch {
+		case want && !l.dead:
+			f.killLink(l)
+		case !want && l.dead:
+			f.reviveLink(l)
+		}
+	}
+}
+
+// killLink marks one direction dead, drops its in-flight flits, clears its
+// reverse channel (the sender must drain, not wedge), and terminates the
+// truncated worm stub at the downstream end with a forward reset.
+func (f *Fabric) killLink(l *dlink) {
+	l.dead = true
+	for s := 0; s < l.delay; s++ {
+		if l.occ[s] {
+			f.ctr.FlitsDropped++
+			l.occ[s] = false
+			l.pipe[s] = flit.Flit{}
+		}
+		l.ctrl[s] = false
+	}
+	l.inFlight = 0
+	l.stopAtSender = false
+	// Mark the sender's in-progress worm as lost right away (not only when
+	// its tail hits the black hole): if the link revives mid-worm, the
+	// remaining flits must be recognized downstream as a torn-down stub.
+	if s := f.sw[l.srcNode]; s != nil {
+		if o := &s.out[l.srcPort]; o.boundIn >= 0 && s.in[o.boundIn].mode == pmBoundUni {
+			f.dropWorm(s.in[o.boundIn].worm)
+		}
+	} else if h := f.hosts[l.srcNode]; h.cur != nil {
+		f.dropWorm(h.cur.W)
+	}
+	if s := f.sw[l.dstNode]; s != nil {
+		if !s.dead {
+			f.poisonInput(&s.in[l.dstPort])
+		}
+	} else {
+		f.poisonHost(f.hosts[l.dstNode])
+	}
+}
+
+// reviveLink returns a direction to service with an empty pipeline.
+func (f *Fabric) reviveLink(l *dlink) {
+	l.dead = false
+	for s := 0; s < l.delay; s++ {
+		l.pipe[s] = flit.Flit{}
+		l.occ[s] = false
+		l.ctrl[s] = false
+	}
+	l.inFlight = 0
+	l.stopAtSender = false
+}
+
+// poisonInput terminates the worm stub at a switch input port whose
+// upstream link just died.
+//
+//   - A port already streaming downstream (pmBoundUni/pmBoundMC) gets a
+//     synthetic Bad tail appended to its slack: the remaining buffered
+//     flits flow out normally and the Bad tail tears the path down through
+//     every switch it crosses, ending in a host-side discard.
+//   - A port still decoding or waiting for arbitration aborts in place —
+//     nothing has been forwarded, so there is no downstream state to clear.
+//   - An idle port with a truncated arrival gets the Bad tail appended so
+//     the stub routes, drains, and terminates instead of waiting forever
+//     for header bytes that were lost.
+func (f *Fabric) poisonInput(in *inPort) {
+	switch in.mode {
+	case pmBoundUni, pmBoundMC:
+		f.dropWorm(in.worm)
+		f.appendBadTail(in, in.worm)
+	case pmCollect, pmWait:
+		f.ctr.FlitsDropped += int64(in.fill)
+		f.dropWorm(in.worm)
+		in.reset()
+	case pmFlush, pmDrop:
+		// Already draining; give the drain a terminator in case the real
+		// tail was lost upstream.
+		if in.fill == 0 || in.newest().Kind != flit.Tail {
+			f.appendBadTail(in, in.worm)
+		}
+	case pmIdle:
+		if in.fill == 0 {
+			return
+		}
+		if nw := in.newest(); nw.Kind != flit.Tail {
+			f.appendBadTail(in, nw.W)
+		}
+	}
+}
+
+// appendBadTail pushes a synthetic Bad tail for worm w into the slack
+// buffer, overwriting the newest flit when the buffer is full (that flit
+// belonged to the truncated worm anyway).
+func (f *Fabric) appendBadTail(in *inPort, w *flit.Worm) {
+	bad := flit.Flit{W: w, Kind: flit.Tail, Bad: true}
+	if in.fill >= in.cap {
+		f.ctr.FlitsDropped++
+		in.slack[(in.head+in.fill-1)%in.cap] = bad
+		return
+	}
+	in.receive(bad)
+}
+
+// poisonHost terminates the partially-received worm at a host interface
+// whose incoming link just died.
+func (f *Fabric) poisonHost(h *hostIf) {
+	if w := h.rx.Worm(); w != nil {
+		h.discardRx(w, f.K.Now(), &f.ctr.TruncatedDrops)
+	}
+}
+
+// wipeSwitch drops every worm copy held by a crashed switch and resets all
+// of its port state.
+func (f *Fabric) wipeSwitch(s *swState) {
+	for pi := range s.in {
+		in := &s.in[pi]
+		if in.inLink == nil {
+			continue
+		}
+		f.dropWorm(in.worm)
+		for k := 0; k < in.fill; k++ {
+			fl := in.slack[(in.head+k)%in.cap]
+			f.ctr.FlitsDropped++
+			f.dropWorm(fl.W)
+		}
+		in.reset()
+		in.stopWish = false
+	}
+	for oi := range s.out {
+		s.out[oi].unbind()
+	}
+}
+
+// reset returns an input port to idle with an empty slack buffer.
+func (in *inPort) reset() {
+	for i := range in.slack {
+		in.slack[i] = flit.Flit{}
+	}
+	in.head = 0
+	in.fill = 0
+	in.mode = pmIdle
+	in.worm = nil
+	in.mcBuf = in.mcBuf[:0]
+	in.mcSkip = 0
+	in.mcExpectPtr = false
+	in.reqOuts = nil
+	in.reqStamps = nil
+	in.outs = in.outs[:0]
+}
+
+// newest returns the most recently received slack flit (fill must be >0).
+func (in *inPort) newest() flit.Flit {
+	return in.slack[(in.head+in.fill-1)%in.cap]
+}

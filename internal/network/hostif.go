@@ -25,9 +25,29 @@ type hostIf struct {
 	cur   *flit.Stream
 
 	rx flit.Reassembler
+
+	// stalledUntil freezes the transmit side (a host-adapter stall fault);
+	// reception continues normally.
+	stalledUntil des.Time
 }
 
 func (h *hostIf) receive(fl flit.Flit, now des.Time) {
+	if fl.Kind == flit.Tail && fl.Bad {
+		// Forward reset: the worm was truncated by a failure upstream.
+		// Discard whatever arrived (possibly nothing).
+		w := h.rx.Worm()
+		if w == nil {
+			w = fl.W
+		}
+		h.discardRx(w, now, &h.f.ctr.TruncatedDrops)
+		return
+	}
+	if h.rx.Worm() == nil && fl.W.RxAborted {
+		// Leftover flits of a worm already torn down (e.g. a sender resumed
+		// onto a revived link mid-worm).  Not a fresh arrival.
+		h.f.ctr.FlitsDropped++
+		return
+	}
 	first := h.rx.Worm() == nil
 	done, err := h.rx.Feed(fl)
 	if err != nil {
@@ -48,6 +68,11 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 	if !h.rx.Complete() {
 		return
 	}
+	if h.rx.Corrupt {
+		// Checksum failure: a flit was damaged on the wire.
+		h.discardRx(h.rx.Worm(), now, &h.f.ctr.CorruptDrops)
+		return
+	}
 	w := h.rx.Worm()
 	w.RxDone = true
 	frags := h.rx.Fragments
@@ -59,7 +84,21 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 	}
 }
 
+// discardRx abandons the in-progress reception of w, bumping the given
+// drop-reason counter and notifying the adapter layer.
+func (h *hostIf) discardRx(w *flit.Worm, now des.Time, reason *int64) {
+	*reason++
+	h.f.dropWorm(w)
+	h.rx.Reset()
+	if h.f.Cfg.OnDiscard != nil {
+		h.f.Cfg.OnDiscard(w, h.node, now)
+	}
+}
+
 func (h *hostIf) transmit(now des.Time) {
+	if now < h.stalledUntil {
+		return // adapter stalled: transmit side frozen
+	}
 	if h.cur == nil {
 		if len(h.queue) == 0 {
 			return
@@ -70,6 +109,14 @@ func (h *hostIf) transmit(now des.Time) {
 			w.Injected = now
 		}
 		h.cur = flit.NewStream(w, w.Header)
+	}
+	if from := h.cur.W.PaceFrom; from != nil && from.RxAborted {
+		// Cut-through forward of a reception that was aborted: the stream
+		// can never finish.  Terminate it with a forward reset if any of it
+		// is already on the wire (waiting out backpressure first), or just
+		// drop it if nothing has been sent.
+		h.abortTx(now)
+		return
 	}
 	if h.outLink.stopAtSender {
 		return
@@ -90,4 +137,22 @@ func (h *hostIf) transmit(now des.Time) {
 	if h.cur.Remaining() == 0 {
 		h.cur = nil
 	}
+}
+
+// abortTx terminates the current outgoing stream after its pacing source
+// was aborted.
+func (h *hostIf) abortTx(now des.Time) {
+	switch {
+	case !h.cur.Started() || h.outLink.dead:
+		// Nothing on the wire (or the wire is gone): silent drop.
+		h.f.dropWorm(h.cur.W)
+		h.cur = nil
+	case !h.outLink.stopAtSender:
+		h.outLink.send(now, flit.Flit{W: h.cur.W, Kind: flit.Tail, Bad: true})
+		h.f.moved = true
+		h.f.ctr.FlitsCarried++
+		h.f.dropWorm(h.cur.W)
+		h.cur = nil
+	}
+	// Backpressured: retry the reset next tick.
 }

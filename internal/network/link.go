@@ -12,6 +12,7 @@ import (
 // state of the downstream slack buffer with the same propagation delay
 // (Myrinet sends STOP and GO control symbols on the paired return line).
 type dlink struct {
+	f     *Fabric
 	delay int
 
 	// pipe[s]/occ[s] hold the flit written at a tick with now%delay == s;
@@ -37,11 +38,26 @@ type dlink struct {
 	// inFlight counts occupied pipeline slots, so the fabric knows the
 	// link still holds data even when no slot is due for delivery.
 	inFlight int
+
+	// dead marks a failed link (explicitly, or because an endpoint switch
+	// crashed).  A dead link black-holes everything sent into it: flits are
+	// counted as dropped rather than delivered, and senders drain their
+	// worms instead of wedging behind a STOP that would never clear.
+	dead bool
 }
 
 // send places a flit on the wire at the given tick.  The caller must send
 // at most one flit per link per tick; a second send is a model bug.
 func (l *dlink) send(now int64, fl flit.Flit) {
+	if l.dead {
+		// Black hole: the flit falls off the broken cable.  When the tail
+		// goes in, the whole worm copy is gone.
+		l.f.ctr.FlitsDropped++
+		if fl.Kind == flit.Tail {
+			l.f.dropWorm(fl.W)
+		}
+		return
+	}
 	slot := int(now % int64(l.delay))
 	if l.occ[slot] {
 		panic(fmt.Sprintf("network: double send on link %d.%d->%d.%d at t=%d",

@@ -105,6 +105,12 @@ type Config struct {
 	// under SchemeFlushUnicast.  The source should retransmit after a
 	// random timeout.
 	OnFlush func(w *flit.Worm, at des.Time)
+
+	// OnDiscard is invoked when a host interface discards an incoming worm
+	// — truncated by a failure upstream or corrupted on the wire — instead
+	// of delivering it.  Adapters use it to release reservations made at
+	// head arrival.  It runs inside the simulation tick.
+	OnDiscard func(w *flit.Worm, host topology.NodeID, at des.Time)
 }
 
 func (c *Config) withDefaults() Config {
@@ -132,6 +138,20 @@ type Counters struct {
 	FlitsDelivered int64 // flits handed to host interfaces
 	FlitsCarried   int64 // flit-hops across all links
 	Fragments      int64 // fragment tails beyond the first per delivery
+
+	// Failure accounting.  Each worm copy lost to a failure is counted in
+	// WormsDropped exactly once, whichever path noticed the loss first, so
+	// for unicast traffic the conservation law
+	//
+	//	Injected == Delivered + WormsDropped
+	//
+	// holds once the fabric quiesces.
+	WormsDropped    int64 // worm copies lost to link/switch failures or corruption
+	FlitsDropped    int64 // individual flits lost (black-holed, wiped, or drained)
+	StaleRouteDrops int64 // route branches pointing at a dead output link
+	EpochMismatches int64 // stale-route worms injected before the last topology change
+	TruncatedDrops  int64 // worms discarded at a host after a forward reset
+	CorruptDrops    int64 // worms discarded at a host for flit corruption
 }
 
 // Fabric is the switching fabric of one wormhole LAN.
@@ -152,6 +172,11 @@ type Fabric struct {
 	work     bool     // any activity (movement or held state) this tick
 	moved    bool     // any flit actually moved this tick
 	ctr      Counters
+
+	// Failure state (see fault.go).
+	epoch   int64                // topology epoch, bumped on every fail/restore
+	fail    *updown.Failures     // current dead links and switches
+	dropped map[*flit.Worm]bool  // worm copies already counted in WormsDropped
 }
 
 // New builds a fabric over the topology.  ud may be nil when broadcast
@@ -160,7 +185,8 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("network: %w", err)
 	}
-	f := &Fabric{K: k, G: g, Cfg: cfg.withDefaults(), UD: ud}
+	f := &Fabric{K: k, G: g, Cfg: cfg.withDefaults(), UD: ud,
+		fail: updown.NewFailures(), dropped: make(map[*flit.Worm]bool)}
 	f.sw = make([]*swState, len(g.Nodes))
 	f.hosts = make([]*hostIf, len(g.Nodes))
 
@@ -191,6 +217,7 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 				continue
 			}
 			l := &dlink{
+				f:       f,
 				delay:   int(p.Delay),
 				srcNode: n.ID, srcPort: topology.PortID(pi),
 				dstNode: p.Peer, dstPort: p.PeerPort,
@@ -234,6 +261,7 @@ func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
 		return fmt.Errorf("network: broadcast worm without up/down routing")
 	}
 	w.Created = f.K.Now()
+	w.Epoch = f.epoch
 	h.queue = append(h.queue, w)
 	f.ctr.Injected++
 	f.activate()
@@ -270,6 +298,9 @@ func (f *Fabric) Tick(now des.Time) bool {
 	// Phase 1: links deliver the flits and control state that have been in
 	// flight for one full propagation delay.
 	for _, l := range f.links {
+		if l.dead {
+			continue // a dead link delivers nothing, in either direction
+		}
 		slot := int(now % int64(l.delay))
 		l.stopAtSender = l.ctrl[slot]
 		if l.occ[slot] {
@@ -292,7 +323,7 @@ func (f *Fabric) Tick(now des.Time) bool {
 
 	// Phase 2: switches route worm heads and arbitrate output ports.
 	for _, s := range f.sw {
-		if s == nil {
+		if s == nil || s.dead {
 			continue
 		}
 		s.route(now)
@@ -300,7 +331,7 @@ func (f *Fabric) Tick(now des.Time) bool {
 
 	// Phase 3: bound outputs and host interfaces transmit one flit each.
 	for _, s := range f.sw {
-		if s == nil {
+		if s == nil || s.dead {
 			continue
 		}
 		s.transmit(now)
@@ -314,12 +345,12 @@ func (f *Fabric) Tick(now des.Time) bool {
 
 	// Phase 4: input ports publish STOP/GO onto the reverse channels.
 	for _, s := range f.sw {
-		if s == nil {
+		if s == nil || s.dead {
 			continue
 		}
 		for pi := range s.in {
 			in := &s.in[pi]
-			if in.inLink == nil {
+			if in.inLink == nil || in.inLink.dead {
 				continue
 			}
 			fill := in.fill
@@ -366,7 +397,7 @@ func (f *Fabric) Stalled(window des.Time) bool {
 
 func (f *Fabric) anythingHeld() bool {
 	for _, s := range f.sw {
-		if s == nil {
+		if s == nil || s.dead {
 			continue
 		}
 		for pi := range s.in {

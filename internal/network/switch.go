@@ -26,6 +26,9 @@ const (
 	// pmFlush: discarding the remainder of a flushed worm (Backward Reset
 	// under SchemeFlushUnicast).
 	pmFlush
+	// pmDrop: draining a worm lost to a failure (stale route into a dead
+	// link); drained flits are counted as dropped.
+	pmDrop
 )
 
 // outPhase is the per-branch transmission phase of a multicast binding.
@@ -135,6 +138,10 @@ type swState struct {
 	f    *Fabric
 	in   []inPort
 	out  []outPort
+
+	// dead marks a crashed switch: it routes nothing, transmits nothing,
+	// and all its port state was wiped when it went down.
+	dead bool
 }
 
 // route advances the head-of-worm state machines of every input port:
@@ -164,6 +171,15 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 		}
 		fl := in.peek()
 		if fl.Kind != flit.Header {
+			if fl.W.RxAborted || (fl.Kind == flit.Tail && fl.Bad) {
+				// Leftovers of a worm torn down by a failure (a headerless
+				// stub, or a sender that resumed onto a revived link
+				// mid-worm): drain them without routing.
+				in.pop()
+				s.f.ctr.FlitsDropped++
+				s.f.dropWorm(fl.W)
+				return
+			}
 			panic(fmt.Sprintf("network: switch %d port %d: worm %d starts with %s flit",
 				s.node, in.idx, fl.W.ID, fl.Kind))
 		}
@@ -219,6 +235,22 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 				break
 			}
 		}
+	case pmDrop:
+		s.drainDrop(in)
+	}
+}
+
+// drainDrop drains a worm lost to a failure, counting every flit dropped,
+// until its (possibly synthetic) tail arrives.
+func (s *swState) drainDrop(in *inPort) {
+	for in.fill > 0 {
+		fl := in.pop()
+		s.f.ctr.FlitsDropped++
+		if fl.Kind == flit.Tail {
+			in.mode = pmIdle
+			in.worm = nil
+			break
+		}
 	}
 }
 
@@ -230,6 +262,17 @@ func (s *swState) collect(in *inPort) {
 	}
 	fl := in.peek()
 	if fl.Kind != flit.Header {
+		if fl.Kind == flit.Tail && fl.Bad {
+			// The header was truncated by an upstream failure: abort the
+			// parse and drop the stub.
+			in.pop()
+			s.f.ctr.FlitsDropped += int64(len(in.mcBuf)) + 1
+			s.f.dropWorm(in.worm)
+			in.mode = pmIdle
+			in.worm = nil
+			in.mcBuf = in.mcBuf[:0]
+			return
+		}
 		panic(fmt.Sprintf("network: switch %d port %d: %s flit inside multicast header of worm %d",
 			s.node, in.idx, fl.Kind, fl.W.ID))
 	}
@@ -282,7 +325,7 @@ func (s *swState) broadcastBranches(arrival int) (outs []int, stamps [][]byte) {
 	ud := s.f.UD
 	g := s.f.G
 	for pi, p := range g.Node(s.node).Ports {
-		if !p.Wired() {
+		if !p.Wired() || s.out[pi].link.dead {
 			continue
 		}
 		if g.Node(p.Peer).Kind == topology.Host {
@@ -302,12 +345,39 @@ func (s *swState) broadcastBranches(arrival int) (outs []int, stamps [][]byte) {
 // request.  Granting atomically prevents partial-hold deadlocks between
 // replicating worms within one switch.
 func (s *swState) tryGrant(in *inPort, now des.Time) {
-	free := true
-	for _, oi := range in.reqOuts {
+	// Prune branches whose output link has died since the route was
+	// computed (a stale source route).  A worm with no surviving branch is
+	// drained and counted dropped.
+	pruned := false
+	liveOuts := in.reqOuts[:0]
+	liveStamps := in.reqStamps[:0]
+	for i, oi := range in.reqOuts {
 		if oi >= len(s.out) || s.out[oi].link == nil {
 			panic(fmt.Sprintf("network: worm %d routed to nonexistent port %d of switch %d",
 				in.worm.ID, oi, s.node))
 		}
+		if s.out[oi].link.dead {
+			s.f.ctr.StaleRouteDrops++
+			pruned = true
+			continue
+		}
+		liveOuts = append(liveOuts, oi)
+		liveStamps = append(liveStamps, in.reqStamps[i])
+	}
+	in.reqOuts, in.reqStamps = liveOuts, liveStamps
+	if pruned {
+		if in.worm.Epoch != s.f.epoch {
+			s.f.ctr.EpochMismatches++
+		}
+		if len(in.reqOuts) == 0 {
+			s.f.dropWorm(in.worm)
+			in.mode = pmDrop
+			s.drainDrop(in)
+			return
+		}
+	}
+	free := true
+	for _, oi := range in.reqOuts {
 		o := &s.out[oi]
 		if o.boundIn >= 0 {
 			free = false

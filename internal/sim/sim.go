@@ -10,6 +10,7 @@ import (
 
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
+	"wormlan/internal/fault"
 	"wormlan/internal/multicast"
 	"wormlan/internal/network"
 	"wormlan/internal/stats"
@@ -85,6 +86,16 @@ type Config struct {
 	Adapter adapter.Config
 	// Network overrides the fabric defaults.
 	Network network.Config
+
+	// FaultPlan, when non-nil, is a failure schedule injected against the
+	// fabric during the run.  Topology changes trigger mapper re-runs and
+	// route recomputation over the survivors (see internal/fault).  Only
+	// supported with adapter-level schemes: switch-level replication has
+	// no recovery protocol.
+	FaultPlan *fault.Plan
+	// RemapDelay is the mapper daemon's detection-plus-convergence latency
+	// after a topology change (default 512 byte-times).
+	RemapDelay des.Time
 }
 
 // Results aggregates one run's measurements.
@@ -110,6 +121,8 @@ type Results struct {
 
 	Adapter adapter.Stats
 	Fabric  network.Counters
+	// Fault aggregates injector activity when Config.FaultPlan is set.
+	Fault fault.Counters
 
 	// Stalled is set when worms remained frozen in the fabric at the end
 	// of the run — the observable symptom of a deadlock.
@@ -131,6 +144,9 @@ func Run(cfg Config) (*Results, error) {
 	}
 	if cfg.Drain == 0 {
 		cfg.Drain = cfg.Measure / 2
+	}
+	if cfg.FaultPlan != nil && cfg.Scheme.SwitchLevel {
+		return nil, fmt.Errorf("sim: fault injection is not supported with switch-level replication (no recovery protocol)")
 	}
 	k := des.NewKernel()
 	ud, err := updown.New(cfg.Graph, topology.None)
@@ -233,7 +249,10 @@ func Run(cfg Config) (*Results, error) {
 		acfg.Mode = cfg.Scheme.Mode
 		acfg.CutThrough = cfg.Scheme.CutThrough
 		acfg.TotalOrdering = cfg.TotalOrdering
-		sys = adapter.NewSystem(k, fab, table, acfg, cfg.Seed)
+		sys, err = adapter.NewSystem(k, fab, table, acfg, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
 		for _, gd := range groupDefs {
 			grp, err := multicast.NewGroup(gd.id, gd.set)
 			if err != nil {
@@ -251,6 +270,16 @@ func Run(cfg Config) (*Results, error) {
 			}
 		}
 		sink = sys
+	}
+
+	var inj *fault.Injector
+	if cfg.FaultPlan != nil {
+		inj = fault.NewInjector(k, fab, cfg.FaultPlan, fault.InjectorConfig{
+			RemapDelay: cfg.RemapDelay,
+			OnRemap: func(ud *updown.Routing, tbl *updown.Table) {
+				sys.Reroute(tbl, ud.Reachable)
+			},
+		})
 	}
 
 	gen, err := traffic.New(k, traffic.Config{
@@ -276,6 +305,9 @@ func Run(cfg Config) (*Results, error) {
 		res.Adapter = sys.Stats()
 	}
 	res.Fabric = fab.Counters()
+	if inj != nil {
+		res.Fault = inj.Counters()
+	}
 	res.Stalled = fab.Stalled(10 * des.Time(cfg.MeanWorm))
 	res.EndTime = k.Now()
 	return res, nil

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"wormlan/internal/fault"
 	"wormlan/internal/topology"
 )
 
@@ -178,5 +179,37 @@ func TestTotalOrderingRun(t *testing.T) {
 	}
 	if r.MCDeliveries == 0 || r.Stalled {
 		t.Fatalf("ordered run: %v", r)
+	}
+}
+
+func TestRunWithFaultPlan(t *testing.T) {
+	cfg := smallConfig(TreeSF, 0.06)
+	cfg.FaultPlan = fault.RandomPlan(cfg.Graph, fault.Options{
+		Seed: 3, LinkDowns: 1, SwitchDowns: 1, Window: 60_000,
+	})
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault.LinkDowns != 1 || r.Fault.SwitchDowns != 1 {
+		t.Fatalf("faults not applied: %+v", r.Fault)
+	}
+	if r.Fault.Remaps == 0 {
+		t.Fatalf("no remap: %+v", r.Fault)
+	}
+	if r.Stalled {
+		t.Fatal("run stalled under faults")
+	}
+	fc := r.Fabric
+	if fc.Injected != fc.Delivered+fc.WormsDropped {
+		t.Fatalf("conservation: %+v", fc)
+	}
+}
+
+func TestFaultPlanRejectedForSwitchLevel(t *testing.T) {
+	cfg := smallConfig(SwitchFabric, 0.06)
+	cfg.FaultPlan = &fault.Plan{}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "switch-level") {
+		t.Fatalf("switch-level + faults accepted: %v", err)
 	}
 }

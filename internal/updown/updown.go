@@ -39,6 +39,10 @@ type Routing struct {
 	// inTree[n][p] reports whether the directed link out of port p of node
 	// n is part of the spanning tree (host links are always in tree).
 	inTree [][]bool
+
+	// fail is the failure set the labelling was computed against; nil for a
+	// healthy fabric (New).  Routes never cross links it marks dead.
+	fail *Failures
 }
 
 // New computes the up/down labelling of g rooted at the given switch.
@@ -161,6 +165,9 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 	if src == dst {
 		return Route{}, fmt.Errorf("updown: route to self (host %d)", src)
 	}
+	if r.fail != nil && (!r.Reachable(src) || !r.Reachable(dst)) {
+		return Route{}, fmt.Errorf("updown: no surviving route from host %d to host %d", src, dst)
+	}
 	if sSrc == sDst {
 		// Single-switch route: one port, straight to the destination host.
 		return Route{Src: src, Dst: dst,
@@ -186,6 +193,9 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 				continue
 			}
 			if treeOnly && !r.inTree[cur.node][pi] {
+				continue
+			}
+			if r.fail.LinkDead(g, cur.node, topology.PortID(pi)) {
 				continue
 			}
 			up := r.IsUp(cur.node, topology.PortID(pi))
@@ -310,6 +320,9 @@ func (r *Routing) VerifyRoute(rt Route) error {
 		p := g.Node(sw).Ports[port]
 		if !p.Wired() {
 			return fmt.Errorf("hop %d: port %d of switch %d unwired", i, port, sw)
+		}
+		if r.fail.LinkDead(g, sw, port) {
+			return fmt.Errorf("hop %d: port %d of switch %d crosses a failed link", i, port, sw)
 		}
 		if g.Node(p.Peer).Kind == topology.Switch {
 			up := r.IsUp(sw, port)
