@@ -15,6 +15,7 @@ package wormlan
 // (Figs 12/13, measured); shapes are asserted by internal/core's tests.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -62,6 +63,25 @@ func BenchmarkFig10Point(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(r.MCLatency.Mean(), "mc-latency")
+	}
+}
+
+// BenchmarkFig10Parallel regenerates Figure 10 through the sweep engine
+// at GOMAXPROCS workers; compare against BenchmarkFig10 (sequential) to
+// measure the worker-pool speedup on this machine.  Rows are identical in
+// both by the engine's determinism contract (DESIGN.md §8).
+func BenchmarkFig10Parallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := core.Fig10With(context.Background(), core.Quick, 1996,
+			core.Options{Workers: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := map[string]float64{}
+		for _, r := range rows {
+			last[r.Scheme] = r.MCLatency
+		}
+		b.ReportMetric(last["tree-flood"], "tree-latency")
 	}
 }
 

@@ -3,30 +3,56 @@
 //
 // Usage:
 //
-//	mcbench -fig 10            # one figure (10, 11, 12, 13)
-//	mcbench -fig all           # everything
-//	mcbench -fig ablations     # the ablation suite
-//	mcbench -scale full        # full DESIGN.md grids (minutes)
+//	mcbench -fig 10              # one figure (10, 11, 12, 13, ablations)
+//	mcbench -fig all             # everything
+//	mcbench -scale full          # full DESIGN.md grids (minutes)
+//	mcbench -fig all -parallel 8 # fan simulation points across 8 workers
+//	mcbench -fig all -cache /tmp/mc  # memoize points; re-runs are incremental
 //
-// Figures 12 and 13 come from the same measurement run (throughput and
-// loss of the prototype emulation), so either -fig value produces both.
+// Simulation figures (10, 11, ablations) are sweeps of independent
+// deterministic points: -parallel changes wall-clock time only, never the
+// rows (each point derives its own seed from its identity).  Figures 12
+// and 13 come from the same wall-clock-measured emulation run, so they
+// always execute sequentially and are never cached.
+//
+// Exit status: 0 on success, 1 if any figure fails mid-run, 2 on usage
+// errors (unknown figure or scale).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"wormlan/internal/core"
+	"wormlan/internal/sweep"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all")
-	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
-	seed := flag.Uint64("seed", 1996, "random seed")
-	perPoint := flag.Duration("perpoint", 0, "wall-clock time per emulation point (figs 12/13)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+var validFigs = map[string]bool{
+	"10": true, "11": true, "12": true, "13": true, "ablations": true, "all": true,
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all")
+	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Uint64("seed", 1996, "random seed")
+	perPoint := fs.Duration("perpoint", 0, "wall-clock time per emulation point (figs 12/13)")
+	parallel := fs.Int("parallel", 0, "simulation points run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	cacheDir := fs.String("cache", "", "memoize completed sweep points in this directory")
+	timeout := fs.Duration("timeout", 0, "per-point wall-clock timeout (0 = none)")
+	progress := fs.Bool("progress", false, "stream per-point completions to stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	scale := core.Quick
 	switch *scaleFlag {
@@ -34,81 +60,121 @@ func main() {
 	case "full":
 		scale = core.Full
 	default:
-		fmt.Fprintf(os.Stderr, "mcbench: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mcbench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		return 2
+	}
+	if !validFigs[*fig] {
+		fmt.Fprintf(stderr, "mcbench: unknown figure %q (want 10, 11, 12, 13, ablations, or all)\n", *fig)
+		return 2
 	}
 
-	run := func(name string, f func() error) {
+	// One sweep accounting block shared by every figure of this
+	// invocation: points completed and cache hits feed the per-figure
+	// wall-clock report.
+	var points, hits int
+	opts := core.Options{
+		Workers:  *parallel,
+		CacheDir: *cacheDir,
+		Timeout:  *timeout,
+		OnProgress: func(p sweep.Progress) {
+			points++
+			if p.CacheHit {
+				hits++
+			}
+			if *progress {
+				state := "ran"
+				if p.CacheHit {
+					state = "cached"
+				}
+				fmt.Fprintf(stderr, "  %s %d/%d %s (%s, %v)\n",
+					p.Grid, p.Done, p.Total, p.Key[:12], state, p.Elapsed.Round(time.Millisecond))
+			}
+		},
+	}
+
+	failed := false
+	runFig := func(name string, f func() error) {
+		if failed {
+			return
+		}
+		points, hits = 0, 0
 		start := time.Now()
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "mcbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mcbench: %s: %v\n", name, err)
+			failed = true
+			return
 		}
-		fmt.Printf("  [%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  [%s: %d points (%d cached) in %v]\n\n",
+			name, points, hits, time.Since(start).Round(time.Millisecond))
 	}
 
+	ctx := context.Background()
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
 	if want("10") {
-		run("fig10", func() error {
-			rows, err := core.Fig10(scale, *seed)
+		runFig("fig10", func() error {
+			rows, err := core.Fig10With(ctx, scale, *seed, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintFig10(os.Stdout, rows)
+			core.PrintFig10(stdout, rows)
 			return nil
 		})
 	}
 	if want("11") {
-		run("fig11", func() error {
-			rows, err := core.Fig11(scale, *seed)
+		runFig("fig11", func() error {
+			rows, err := core.Fig11With(ctx, scale, *seed, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintFig11(os.Stdout, rows)
+			core.PrintFig11(stdout, rows)
 			return nil
 		})
 	}
 	if want("12") || want("13") {
-		run("fig12+13", func() error {
+		runFig("fig12+13", func() error {
 			single, all := core.Fig12And13(scale, *perPoint)
-			core.PrintFig12And13(os.Stdout, single, all)
+			core.PrintFig12And13(stdout, single, all)
 			return nil
 		})
 	}
 	if want("ablations") {
-		run("ablations", func() error {
-			bc, err := core.AblationBufferClasses(*seed)
+		runFig("ablations", func() error {
+			bc, err := core.AblationBufferClassesWith(ctx, *seed, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintBufferClasses(os.Stdout, bc)
-			or, err := core.AblationOrdering(*seed)
+			core.PrintBufferClasses(stdout, bc)
+			or, err := core.AblationOrderingWith(ctx, *seed, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintOrdering(os.Stdout, or)
+			core.PrintOrdering(stdout, or)
 			tc, err := core.AblationTreeConstruction(*seed)
 			if err != nil {
 				return err
 			}
-			core.PrintTreeConstruction(os.Stdout, tc)
+			core.PrintTreeConstruction(stdout, tc)
 			rt, err := core.AblationRouting()
 			if err != nil {
 				return err
 			}
-			core.PrintRouting(os.Stdout, rt)
-			fa, err := core.AblationFabricVsAdapter(*seed)
+			core.PrintRouting(stdout, rt)
+			fa, err := core.AblationFabricVsAdapterWith(ctx, *seed, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintFabricVsAdapter(os.Stdout, fa)
-			bs, err := core.BufferOccupancyStudy(*seed, []float64{0.01, 0.02, 0.04, 0.06})
+			core.PrintFabricVsAdapter(stdout, fa)
+			bs, err := core.BufferOccupancyStudyWith(ctx, *seed, []float64{0.01, 0.02, 0.04, 0.06}, opts)
 			if err != nil {
 				return err
 			}
-			core.PrintBufferStudy(os.Stdout, bs)
+			core.PrintBufferStudy(stdout, bs)
 			return nil
 		})
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }

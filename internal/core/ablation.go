@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,9 +11,36 @@ import (
 	"wormlan/internal/network"
 	"wormlan/internal/rng"
 	"wormlan/internal/sim"
+	"wormlan/internal/sweep"
 	"wormlan/internal/topology"
 	"wormlan/internal/updown"
 )
+
+// ablationPoint is the declarative identity of one ablation cell.  The
+// base seed is part of the identity (not replaced by the derived per-point
+// seed): ablations are paired comparisons, so every variant must see the
+// same stochastic workload and the cache must still distinguish seeds.
+type ablationPoint struct {
+	Ablation string  `json:"ablation"`
+	Variant  string  `json:"variant"`
+	Load     float64 `json:"load,omitempty"`
+	Seed     uint64  `json:"seed"`
+}
+
+// runPaired runs a grid whose result slice has exactly n entries and
+// copies it into the caller's fixed-size row array.
+func runPaired[R any](ctx context.Context, o Options, g sweep.Grid[R], out []R) error {
+	eng, err := o.engine()
+	if err != nil {
+		return err
+	}
+	rows, err := sweep.Run(ctx, eng, g)
+	if err != nil {
+		return err
+	}
+	copy(out, rows)
+	return nil
+}
 
 // BufferClassResult compares the two-buffer-class rule (Figure 7) against
 // the single-class negative control under crossing multicasts with
@@ -25,65 +53,86 @@ type BufferClassResult struct {
 	Retransmits int64
 }
 
+// runBufferClass executes one variant of the Figure 6 scenario.
+func runBufferClass(single bool, seed uint64) (BufferClassResult, error) {
+	var out BufferClassResult
+	g := topology.Star(6)
+	k := des.NewKernel()
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		return out, err
+	}
+	tbl, err := ud.NewTable(false)
+	if err != nil {
+		return out, err
+	}
+	fab, err := network.New(k, g, ud, network.Config{})
+	if err != nil {
+		return out, err
+	}
+	sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
+		Mode:        adapter.ModeCircuit,
+		ClassBytes:  400,
+		NackBackoff: 1024,
+		MaxRetries:  8,
+		SingleClass: single,
+	}, seed)
+	if err != nil {
+		return out, err
+	}
+	var delivered int64
+	sys.OnAppDeliver = func(adapter.AppDelivery) { delivered++ }
+	hosts := g.Hosts()
+	grp, err := multicast.NewGroup(1, hosts)
+	if err != nil {
+		return out, err
+	}
+	if _, err := sys.AddGroup(grp); err != nil {
+		return out, err
+	}
+	for _, h := range hosts {
+		if _, err := sys.Adapter(h).SendMulticast(1, 400); err != nil {
+			return out, err
+		}
+	}
+	if err := k.Run(0); err != nil {
+		return out, err
+	}
+	st := sys.Stats()
+	return BufferClassResult{
+		SingleClass: single,
+		Delivered:   delivered,
+		GiveUps:     st.GiveUps,
+		Nacks:       st.Nacks,
+		Retransmits: st.Retransmits,
+	}, nil
+}
+
 // AblationBufferClasses runs the Figure 6 scenario at system scale: every
 // member of a group originates simultaneously with buffers sized for
 // exactly one worm.  With two classes everything completes; with one class
 // the crossing reservations livelock into NACK storms and give-ups.
 func AblationBufferClasses(seed uint64) ([2]BufferClassResult, error) {
-	var out [2]BufferClassResult
-	for i, single := range []bool{false, true} {
-		g := topology.Star(6)
-		k := des.NewKernel()
-		ud, err := updown.New(g, topology.None)
-		if err != nil {
-			return out, err
+	return AblationBufferClassesWith(context.Background(), seed, sequential)
+}
+
+// AblationBufferClassesWith runs the two variants as a sweep grid.
+func AblationBufferClassesWith(ctx context.Context, seed uint64, o Options) ([2]BufferClassResult, error) {
+	g := sweep.Grid[BufferClassResult]{Name: "ablation-buffer-classes", BaseSeed: seed}
+	for _, single := range []bool{false, true} {
+		single := single
+		variant := "two-class"
+		if single {
+			variant = "single-class"
 		}
-		tbl, err := ud.NewTable(false)
-		if err != nil {
-			return out, err
-		}
-		fab, err := network.New(k, g, ud, network.Config{})
-		if err != nil {
-			return out, err
-		}
-		sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
-			Mode:        adapter.ModeCircuit,
-			ClassBytes:  400,
-			NackBackoff: 1024,
-			MaxRetries:  8,
-			SingleClass: single,
-		}, seed)
-		if err != nil {
-			return out, err
-		}
-		var delivered int64
-		sys.OnAppDeliver = func(adapter.AppDelivery) { delivered++ }
-		hosts := g.Hosts()
-		grp, err := multicast.NewGroup(1, hosts)
-		if err != nil {
-			return out, err
-		}
-		if _, err := sys.AddGroup(grp); err != nil {
-			return out, err
-		}
-		for _, h := range hosts {
-			if _, err := sys.Adapter(h).SendMulticast(1, 400); err != nil {
-				return out, err
-			}
-		}
-		if err := k.Run(0); err != nil {
-			return out, err
-		}
-		st := sys.Stats()
-		out[i] = BufferClassResult{
-			SingleClass: single,
-			Delivered:   delivered,
-			GiveUps:     st.GiveUps,
-			Nacks:       st.Nacks,
-			Retransmits: st.Retransmits,
-		}
+		g.Add(ablationPoint{Ablation: "buffer-classes", Variant: variant, Seed: seed},
+			func(context.Context, uint64) (BufferClassResult, error) {
+				return runBufferClass(single, seed)
+			})
 	}
-	return out, nil
+	var out [2]BufferClassResult
+	err := runPaired(ctx, o, g, out[:])
+	return out, err
 }
 
 // PrintBufferClasses renders the ablation.
@@ -109,27 +158,42 @@ type OrderingResult struct {
 // AblationOrdering measures the latency cost of total ordering on the 8x8
 // torus at a moderate load.
 func AblationOrdering(seed uint64) ([2]OrderingResult, error) {
-	var out [2]OrderingResult
-	for i, ordered := range []bool{false, true} {
-		r, err := sim.Run(sim.Config{
-			Graph:         topology.Torus(8, 8, 1, 1),
-			Scheme:        sim.HamiltonianSF,
-			TotalOrdering: ordered,
-			OfferedLoad:   0.02,
-			MulticastProb: 0.1,
-			NumGroups:     10,
-			GroupSize:     10,
-			Warmup:        40_000,
-			Measure:       200_000,
-			Seed:          seed,
-			Adapter:       adapter.Config{PlainForwarding: true},
-		})
-		if err != nil {
-			return out, err
+	return AblationOrderingWith(context.Background(), seed, sequential)
+}
+
+// AblationOrderingWith runs the two variants as a sweep grid.
+func AblationOrderingWith(ctx context.Context, seed uint64, o Options) ([2]OrderingResult, error) {
+	g := sweep.Grid[OrderingResult]{Name: "ablation-ordering", BaseSeed: seed}
+	for _, ordered := range []bool{false, true} {
+		ordered := ordered
+		variant := "unordered"
+		if ordered {
+			variant = "ordered"
 		}
-		out[i] = OrderingResult{Ordered: ordered, MCLatency: r.MCLatency.Mean()}
+		g.Add(ablationPoint{Ablation: "ordering", Variant: variant, Seed: seed},
+			func(context.Context, uint64) (OrderingResult, error) {
+				r, err := sim.Run(sim.Config{
+					Graph:         topology.Torus(8, 8, 1, 1),
+					Scheme:        sim.HamiltonianSF,
+					TotalOrdering: ordered,
+					OfferedLoad:   0.02,
+					MulticastProb: 0.1,
+					NumGroups:     10,
+					GroupSize:     10,
+					Warmup:        40_000,
+					Measure:       200_000,
+					Seed:          seed,
+					Adapter:       adapter.Config{PlainForwarding: true},
+				})
+				if err != nil {
+					return OrderingResult{}, err
+				}
+				return OrderingResult{Ordered: ordered, MCLatency: r.MCLatency.Mean()}, nil
+			})
 	}
-	return out, nil
+	var out [2]OrderingResult
+	err := runPaired(ctx, o, g, out[:])
+	return out, err
 }
 
 // PrintOrdering renders the ablation.
@@ -203,30 +267,41 @@ type FabricVsAdapterResult struct {
 // traffic with tree-restricted routing; the adapter schemes leave unicast
 // free and pay per-hop reassembly on multicast.
 func AblationFabricVsAdapter(seed uint64) ([3]FabricVsAdapterResult, error) {
-	var out [3]FabricVsAdapterResult
-	for i, scheme := range []sim.Scheme{sim.SwitchFabric, sim.TreeSF, sim.HamiltonianSF} {
-		r, err := sim.Run(sim.Config{
-			Graph:         topology.Torus(8, 8, 1, 1),
-			Scheme:        scheme,
-			OfferedLoad:   0.02,
-			MulticastProb: 0.1,
-			NumGroups:     10,
-			GroupSize:     10,
-			Warmup:        40_000,
-			Measure:       200_000,
-			Seed:          seed,
-			Adapter:       adapter.Config{PlainForwarding: true},
-		})
-		if err != nil {
-			return out, err
-		}
-		out[i] = FabricVsAdapterResult{
-			Scheme:    scheme.Name,
-			MCLatency: r.MCLatency.Mean(),
-			UniLat:    r.UniLatency.Mean(),
-		}
+	return AblationFabricVsAdapterWith(context.Background(), seed, sequential)
+}
+
+// AblationFabricVsAdapterWith runs the three schemes as a sweep grid.
+func AblationFabricVsAdapterWith(ctx context.Context, seed uint64, o Options) ([3]FabricVsAdapterResult, error) {
+	g := sweep.Grid[FabricVsAdapterResult]{Name: "ablation-fabric-vs-adapter", BaseSeed: seed}
+	for _, scheme := range []sim.Scheme{sim.SwitchFabric, sim.TreeSF, sim.HamiltonianSF} {
+		scheme := scheme
+		g.Add(ablationPoint{Ablation: "fabric-vs-adapter", Variant: scheme.Name, Seed: seed},
+			func(context.Context, uint64) (FabricVsAdapterResult, error) {
+				r, err := sim.Run(sim.Config{
+					Graph:         topology.Torus(8, 8, 1, 1),
+					Scheme:        scheme,
+					OfferedLoad:   0.02,
+					MulticastProb: 0.1,
+					NumGroups:     10,
+					GroupSize:     10,
+					Warmup:        40_000,
+					Measure:       200_000,
+					Seed:          seed,
+					Adapter:       adapter.Config{PlainForwarding: true},
+				})
+				if err != nil {
+					return FabricVsAdapterResult{}, err
+				}
+				return FabricVsAdapterResult{
+					Scheme:    scheme.Name,
+					MCLatency: r.MCLatency.Mean(),
+					UniLat:    r.UniLatency.Mean(),
+				}, nil
+			})
 	}
-	return out, nil
+	var out [3]FabricVsAdapterResult
+	err := runPaired(ctx, o, g, out[:])
+	return out, err
 }
 
 // PrintFabricVsAdapter renders the comparison.

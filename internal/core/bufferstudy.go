@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -8,6 +9,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/multicast"
 	"wormlan/internal/network"
+	"wormlan/internal/sweep"
 	"wormlan/internal/topology"
 	"wormlan/internal/traffic"
 	"wormlan/internal/updown"
@@ -39,78 +41,99 @@ type BufferStudyRow struct {
 // probability is low a cheaper, less reliable multicast might be
 // preferable — becomes measurable here.
 func BufferOccupancyStudy(seed uint64, loads []float64) ([]BufferStudyRow, error) {
-	var rows []BufferStudyRow
+	return BufferOccupancyStudyWith(context.Background(), seed, loads, sequential)
+}
+
+// BufferOccupancyStudyWith runs the load grid as a sweep.  Every load
+// point reuses the base seed (same groups, same arrival streams) so the
+// load axis is the only thing that varies across rows.
+func BufferOccupancyStudyWith(ctx context.Context, seed uint64, loads []float64, o Options) ([]BufferStudyRow, error) {
+	g := sweep.Grid[BufferStudyRow]{Name: "buffer-occupancy", BaseSeed: seed}
 	for _, load := range loads {
-		g := topology.Torus(4, 4, 1, 1)
-		k := des.NewKernel()
-		ud, err := updown.New(g, topology.None)
-		if err != nil {
-			return nil, err
-		}
-		tbl, err := ud.NewTable(false)
-		if err != nil {
-			return nil, err
-		}
-		fab, err := network.New(k, g, ud, network.Config{})
-		if err != nil {
-			return nil, err
-		}
-		sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
-			Mode: adapter.ModeCircuit,
-		}, seed)
-		if err != nil {
-			return nil, err
-		}
-		hosts := g.Hosts()
-		memberSets, groupsOf, err := traffic.AssignGroups(hosts, 4, 6, seed)
-		if err != nil {
-			return nil, err
-		}
-		for gi, set := range memberSets {
-			grp, err := multicast.NewGroup(gi, set)
-			if err != nil {
-				return nil, err
-			}
-			if _, err := sys.AddGroup(grp); err != nil {
-				return nil, err
-			}
-		}
-		gen, err := traffic.New(k, traffic.Config{
-			OfferedLoad:   load,
-			MeanWorm:      400,
-			MulticastProb: 0.15,
-			Until:         200_000,
-		}, hosts, groupsOf, sys, seed)
-		if err != nil {
-			return nil, err
-		}
-		gen.Start()
-		if err := k.Run(800_000); err != nil {
-			return nil, err
-		}
-		row := BufferStudyRow{Load: load}
-		for _, h := range hosts {
-			c1, c2, _ := sys.Adapter(h).Pools()
-			if c1.Peak > row.PeakClass1 {
-				row.PeakClass1 = c1.Peak
-			}
-			if c2.Peak > row.PeakClass2 {
-				row.PeakClass2 = c2.Peak
-			}
-		}
-		st := sys.Stats()
-		row.Deliveries = st.Deliveries
-		row.GiveUps = st.GiveUps
-		// Hops attempted ~= deliveries minus origins' local copies plus
-		// retransmissions; NACKs per attempted hop is the paper's failure
-		// probability.
-		hops := st.Deliveries - st.MulticastsSent + st.Retransmits
-		if hops > 0 {
-			row.NackRate = float64(st.Nacks) / float64(hops)
-		}
-		rows = append(rows, row)
+		load := load
+		g.Add(ablationPoint{Ablation: "buffer-occupancy", Load: load, Seed: seed},
+			func(context.Context, uint64) (BufferStudyRow, error) {
+				return bufferStudyPoint(seed, load)
+			})
 	}
-	return rows, nil
+	eng, err := o.engine()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(ctx, eng, g)
+}
+
+// bufferStudyPoint measures one load point of the study.
+func bufferStudyPoint(seed uint64, load float64) (BufferStudyRow, error) {
+	var row BufferStudyRow
+	g := topology.Torus(4, 4, 1, 1)
+	k := des.NewKernel()
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		return row, err
+	}
+	tbl, err := ud.NewTable(false)
+	if err != nil {
+		return row, err
+	}
+	fab, err := network.New(k, g, ud, network.Config{})
+	if err != nil {
+		return row, err
+	}
+	sys, err := adapter.NewSystem(k, fab, tbl, adapter.Config{
+		Mode: adapter.ModeCircuit,
+	}, seed)
+	if err != nil {
+		return row, err
+	}
+	hosts := g.Hosts()
+	memberSets, groupsOf, err := traffic.AssignGroups(hosts, 4, 6, seed)
+	if err != nil {
+		return row, err
+	}
+	for gi, set := range memberSets {
+		grp, err := multicast.NewGroup(gi, set)
+		if err != nil {
+			return row, err
+		}
+		if _, err := sys.AddGroup(grp); err != nil {
+			return row, err
+		}
+	}
+	gen, err := traffic.New(k, traffic.Config{
+		OfferedLoad:   load,
+		MeanWorm:      400,
+		MulticastProb: 0.15,
+		Until:         200_000,
+	}, hosts, groupsOf, sys, seed)
+	if err != nil {
+		return row, err
+	}
+	gen.Start()
+	if err := k.Run(800_000); err != nil {
+		return row, err
+	}
+	row.Load = load
+	for _, h := range hosts {
+		c1, c2, _ := sys.Adapter(h).Pools()
+		if c1.Peak > row.PeakClass1 {
+			row.PeakClass1 = c1.Peak
+		}
+		if c2.Peak > row.PeakClass2 {
+			row.PeakClass2 = c2.Peak
+		}
+	}
+	st := sys.Stats()
+	row.Deliveries = st.Deliveries
+	row.GiveUps = st.GiveUps
+	// Hops attempted ~= deliveries minus origins' local copies plus
+	// retransmissions; NACKs per attempted hop is the paper's failure
+	// probability.
+	hops := st.Deliveries - st.MulticastsSent + st.Retransmits
+	if hops > 0 {
+		row.NackRate = float64(st.Nacks) / float64(hops)
+	}
+	return row, nil
 }
 
 // PrintBufferStudy renders the study.

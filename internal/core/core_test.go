@@ -7,6 +7,9 @@ import (
 )
 
 func TestFig10QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestFig10ParallelEquivalence exercises the grid")
+	}
 	rows, err := Fig10(Quick, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -43,6 +46,9 @@ func TestFig10QuickShapes(t *testing.T) {
 }
 
 func TestFig11QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the full shufflenet grid is minutes under -race")
+	}
 	rows, err := Fig11(Quick, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +84,9 @@ func TestFig11QuickShapes(t *testing.T) {
 }
 
 func TestFig12And13Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: wall-clock emulation points are not race-job material")
+	}
 	single, all := Fig12And13(Quick, 250*time.Millisecond)
 	if len(single) != len(Fig12Sizes(Quick)) || len(all) != len(single) {
 		t.Fatalf("points %d/%d", len(single), len(all))
@@ -131,6 +140,9 @@ func TestAblationBufferClasses(t *testing.T) {
 }
 
 func TestAblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: ordering ablation is a long paired run")
+	}
 	r, err := AblationOrdering(4)
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +175,9 @@ func TestAblationTreeConstruction(t *testing.T) {
 }
 
 func TestAblationFabricVsAdapter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: three full simulation runs")
+	}
 	r, err := AblationFabricVsAdapter(6)
 	if err != nil {
 		t.Fatal(err)

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"wormlan/internal/adapter"
 	"wormlan/internal/emu"
 	"wormlan/internal/sim"
+	"wormlan/internal/sweep"
 	"wormlan/internal/topology"
 )
 
@@ -64,42 +66,75 @@ func fig10Windows(s Scale) (warm, meas int64) {
 	return 60_000, 400_000
 }
 
+// figPoint is the declarative identity of one figure cell: everything
+// that determines the cell's simulation, and nothing else, so the sweep
+// cache key and derived seed change exactly when the cell does.
+type figPoint struct {
+	Scheme        string  `json:"scheme"`
+	Load          float64 `json:"load"`
+	MulticastProb float64 `json:"mcProb"`
+	Warmup        int64   `json:"warmup"`
+	Measure       int64   `json:"measure"`
+}
+
+// fig10Grid expresses Figure 10 as a sweep grid: one point per
+// (scheme, load) cell, each running an independent kernel under a derived
+// per-point seed.
+func fig10Grid(s Scale, seed uint64) sweep.Grid[Fig10Row] {
+	warm, meas := fig10Windows(s)
+	g := sweep.Grid[Fig10Row]{Name: "fig10", BaseSeed: seed}
+	for _, scheme := range Fig10Schemes {
+		for _, load := range Fig10Loads(s) {
+			scheme, load := scheme, load
+			g.Add(figPoint{Scheme: scheme.Name, Load: load, MulticastProb: 0.1, Warmup: warm, Measure: meas},
+				func(_ context.Context, pseed uint64) (Fig10Row, error) {
+					r, err := sim.Run(sim.Config{
+						Graph:         topology.Torus(8, 8, 1, 1),
+						Scheme:        scheme,
+						OfferedLoad:   load,
+						MulticastProb: 0.1,
+						NumGroups:     10,
+						GroupSize:     10,
+						Warmup:        warm,
+						Measure:       meas,
+						Seed:          pseed,
+						Adapter:       adapter.Config{PlainForwarding: true},
+					})
+					if err != nil {
+						return Fig10Row{}, fmt.Errorf("fig10 %s load %v: %w", scheme.Name, load, err)
+					}
+					return Fig10Row{
+						Scheme:    scheme.Name,
+						Load:      load,
+						MCLatency: r.MCLatency.Mean(),
+						Uni:       r.UniLatency.Mean(),
+						Thpt:      r.ThroughputPerHost,
+						Samples:   r.MCDeliveries,
+					}, nil
+				})
+		}
+	}
+	return g
+}
+
 // Fig10 reproduces Figure 10: average multicast latency vs offered load on
 // the 8x8 torus for the Hamiltonian circuit (store-and-forward), the
 // Hamiltonian circuit with cut-through, and the rooted tree.
 // 10 multicast groups of 10 members, 10% multicast probability, mean worm
-// 400 bytes (Section 7.1).
+// 400 bytes (Section 7.1).  Sequential; see Fig10With for parallel sweeps.
 func Fig10(s Scale, seed uint64) ([]Fig10Row, error) {
-	var rows []Fig10Row
-	warm, meas := fig10Windows(s)
-	for _, scheme := range Fig10Schemes {
-		for _, load := range Fig10Loads(s) {
-			r, err := sim.Run(sim.Config{
-				Graph:         topology.Torus(8, 8, 1, 1),
-				Scheme:        scheme,
-				OfferedLoad:   load,
-				MulticastProb: 0.1,
-				NumGroups:     10,
-				GroupSize:     10,
-				Warmup:        warm,
-				Measure:       meas,
-				Seed:          seed,
-				Adapter:       adapter.Config{PlainForwarding: true},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s load %v: %w", scheme.Name, load, err)
-			}
-			rows = append(rows, Fig10Row{
-				Scheme:    scheme.Name,
-				Load:      load,
-				MCLatency: r.MCLatency.Mean(),
-				Uni:       r.UniLatency.Mean(),
-				Thpt:      r.ThroughputPerHost,
-				Samples:   r.MCDeliveries,
-			})
-		}
+	return Fig10With(context.Background(), s, seed, sequential)
+}
+
+// Fig10With runs the Figure 10 grid under the given sweep options.  Rows
+// are identical for any worker count: every point owns its kernel and its
+// seed is derived from the point identity alone.
+func Fig10With(ctx context.Context, s Scale, seed uint64, o Options) ([]Fig10Row, error) {
+	eng, err := o.engine()
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return sweep.Run(ctx, eng, fig10Grid(s, seed))
 }
 
 // PrintFig10 renders the rows as the figure's series.
@@ -133,44 +168,64 @@ func Fig11Loads(s Scale) []float64 {
 	return []float64{0.005, 0.010, 0.015, 0.020, 0.025, 0.030, 0.035, 0.040, 0.045}
 }
 
-// Fig11 reproduces Figure 11: average delay for varying proportions of
-// multicast traffic on the 24-node bidirectional shufflenet (propagation
-// delay 1000 byte-times), tree vs Hamiltonian circuit; 4 groups of 6.
-func Fig11(s Scale, seed uint64) ([]Fig11Row, error) {
+// fig11Grid expresses Figure 11 as a sweep grid: one point per
+// (scheme, proportion, load) cell.
+func fig11Grid(s Scale, seed uint64) sweep.Grid[Fig11Row] {
 	warm, meas := int64(100_000), int64(500_000)
 	if s == Full {
 		warm, meas = 150_000, 800_000
 	}
-	var rows []Fig11Row
+	g := sweep.Grid[Fig11Row]{Name: "fig11", BaseSeed: seed}
 	for _, scheme := range []sim.Scheme{sim.TreeFlood, sim.HamiltonianSF} {
 		for _, prop := range Fig11Props {
 			for _, load := range Fig11Loads(s) {
-				r, err := sim.Run(sim.Config{
-					Graph:         topology.BidirShufflenet(2, 3, 1000),
-					Scheme:        scheme,
-					OfferedLoad:   load,
-					MulticastProb: prop,
-					NumGroups:     4,
-					GroupSize:     6,
-					Warmup:        warm,
-					Measure:       meas,
-					Seed:          seed,
-					Adapter:       adapter.Config{PlainForwarding: true},
-				})
-				if err != nil {
-					return nil, fmt.Errorf("fig11 %s prop %v load %v: %w", scheme.Name, prop, load, err)
-				}
-				rows = append(rows, Fig11Row{
-					Scheme: scheme.Name,
-					Prop:   prop,
-					Load:   load,
-					Delay:  r.AllLatency.Mean(),
-					MCLat:  r.MCLatency.Mean(),
-				})
+				scheme, prop, load := scheme, prop, load
+				g.Add(figPoint{Scheme: scheme.Name, Load: load, MulticastProb: prop, Warmup: warm, Measure: meas},
+					func(_ context.Context, pseed uint64) (Fig11Row, error) {
+						r, err := sim.Run(sim.Config{
+							Graph:         topology.BidirShufflenet(2, 3, 1000),
+							Scheme:        scheme,
+							OfferedLoad:   load,
+							MulticastProb: prop,
+							NumGroups:     4,
+							GroupSize:     6,
+							Warmup:        warm,
+							Measure:       meas,
+							Seed:          pseed,
+							Adapter:       adapter.Config{PlainForwarding: true},
+						})
+						if err != nil {
+							return Fig11Row{}, fmt.Errorf("fig11 %s prop %v load %v: %w", scheme.Name, prop, load, err)
+						}
+						return Fig11Row{
+							Scheme: scheme.Name,
+							Prop:   prop,
+							Load:   load,
+							Delay:  r.AllLatency.Mean(),
+							MCLat:  r.MCLatency.Mean(),
+						}, nil
+					})
 			}
 		}
 	}
-	return rows, nil
+	return g
+}
+
+// Fig11 reproduces Figure 11: average delay for varying proportions of
+// multicast traffic on the 24-node bidirectional shufflenet (propagation
+// delay 1000 byte-times), tree vs Hamiltonian circuit; 4 groups of 6.
+// Sequential; see Fig11With for parallel sweeps.
+func Fig11(s Scale, seed uint64) ([]Fig11Row, error) {
+	return Fig11With(context.Background(), s, seed, sequential)
+}
+
+// Fig11With runs the Figure 11 grid under the given sweep options.
+func Fig11With(ctx context.Context, s Scale, seed uint64, o Options) ([]Fig11Row, error) {
+	eng, err := o.engine()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(ctx, eng, fig11Grid(s, seed))
 }
 
 // PrintFig11 renders the rows.

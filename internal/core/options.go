@@ -1,0 +1,39 @@
+package core
+
+import (
+	"time"
+
+	"wormlan/internal/sweep"
+)
+
+// Options selects the execution policy for an experiment sweep.  The zero
+// value runs points in parallel across GOMAXPROCS workers with no cache;
+// Workers == 1 is exact sequential execution (the pre-sweep behaviour).
+type Options struct {
+	// Workers bounds concurrent simulation points; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, memoizes completed points on disk so
+	// re-running a figure after editing one cell is incremental.
+	CacheDir string
+	// Timeout, when positive, bounds each point's wall-clock execution.
+	Timeout time.Duration
+	// OnProgress, when non-nil, receives one callback per completed point.
+	OnProgress func(sweep.Progress)
+}
+
+// engine materializes the sweep engine for these options.
+func (o Options) engine() (*sweep.Engine, error) {
+	e := &sweep.Engine{Workers: o.Workers, Timeout: o.Timeout, OnProgress: o.OnProgress}
+	if o.CacheDir != "" {
+		c, err := sweep.NewCache(o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.Cache = c
+	}
+	return e, nil
+}
+
+// sequential is the policy of the legacy one-call presets: one worker, no
+// cache, so published entry points keep their exact historical behaviour.
+var sequential = Options{Workers: 1}

@@ -11,85 +11,23 @@ package faulttest
 import (
 	"testing"
 
-	"wormlan/internal/adapter"
-	"wormlan/internal/des"
 	"wormlan/internal/fault"
 	"wormlan/internal/topology"
 	"wormlan/internal/traffic"
 )
 
-// chaosConfig keeps retries finite and timeouts short so give-ups resolve
-// well before the drain deadline.
-func chaosConfig() adapter.Config {
-	return adapter.Config{
-		Mode:           adapter.ModeCircuit,
-		CutThrough:     true,
-		MaxRetries:     3,
-		AckTimeoutBase: 16384,
-		NackBackoff:    2048,
-	}
-}
-
-// runChaos executes one full chaos scenario and returns its outcome.
-func runChaos(t *testing.T, build func() *topology.Graph, opts fault.Options) Outcome {
+// assertDeterministic runs the spec twice and compares outcomes, then
+// checks that the storm actually cost worms without unbounded loss.
+func assertDeterministic(t *testing.T, spec StormSpec) Outcome {
 	t.Helper()
-	g := build()
-	plan := fault.RandomPlan(g, opts)
-	b := New(t, g, chaosConfig(), plan, fault.InjectorConfig{})
-
-	hosts := g.Hosts()
-	grpA := b.AddGroup(0, hosts[:len(hosts)/2])
-	grpB := b.AddGroup(1, hosts[len(hosts)/3:])
-	groupsOf := map[topology.NodeID][]int{}
-	for _, h := range grpA.Members {
-		groupsOf[h] = append(groupsOf[h], 0)
-	}
-	for _, h := range grpB.Members {
-		groupsOf[h] = append(groupsOf[h], 1)
-	}
-	gen, err := traffic.New(b.K, traffic.Config{
-		OfferedLoad:   0.02,
-		MeanWorm:      300,
-		MulticastProb: 0.2,
-		Until:         des.Time(opts.Window) * 2,
-	}, hosts, groupsOf, b.Sys, 5)
+	first, err := RunStorm(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen.Start()
-
-	b.Run(des.Time(opts.Window) * 40)
-
-	// The schedule must actually have hit the fabric mid-run.
-	ic := b.Inj.Counters()
-	if ic.LinkDowns < 1 {
-		t.Fatalf("chaos plan killed no links: %+v", ic)
+	second, err := RunStorm(spec)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if ic.SwitchDowns < 1 {
-		t.Fatalf("chaos plan killed no switches: %+v", ic)
-	}
-	if ic.Remaps < 1 {
-		t.Fatalf("no remap completed: %+v", ic)
-	}
-	worms, _, _ := gen.Generated()
-	if worms == 0 {
-		t.Fatal("no traffic generated")
-	}
-	if b.UniDelivered == 0 {
-		t.Fatal("no unicast deliveries survived the storm")
-	}
-
-	b.CheckConservation()
-	b.CheckNoHeldChannels()
-	b.CheckRoutes()
-	return b.Outcome()
-}
-
-// assertDeterministic reruns the scenario and compares outcomes.
-func assertDeterministic(t *testing.T, build func() *topology.Graph, opts fault.Options) {
-	t.Helper()
-	first := runChaos(t, build, opts)
-	second := runChaos(t, build, opts)
 	if first != second {
 		t.Fatalf("chaos run not deterministic:\n first=%+v\nsecond=%+v", first, second)
 	}
@@ -101,41 +39,48 @@ func assertDeterministic(t *testing.T, build func() *topology.Graph, opts fault.
 	if fc.Delivered <= fc.WormsDropped {
 		t.Fatalf("unbounded loss: delivered %d <= dropped %d", fc.Delivered, fc.WormsDropped)
 	}
+	return first
 }
 
 func TestChaosTorus(t *testing.T) {
-	assertDeterministic(t,
-		func() *topology.Graph { return topology.Torus(8, 8, 1, 1) },
-		fault.Options{
+	assertDeterministic(t, StormSpec{
+		Topo: "torus8x8",
+		Faults: fault.Options{
 			Seed:        42,
 			LinkDowns:   3,
 			SwitchDowns: 1,
 			Corruptions: 4,
 			Stalls:      2,
 			Window:      30_000,
-		})
+		}})
 }
 
 func TestChaosShufflenet(t *testing.T) {
-	assertDeterministic(t,
-		func() *topology.Graph { return topology.BidirShufflenet(2, 3, 1000) },
-		fault.Options{
+	if testing.Short() {
+		t.Skip("short mode: torus chaos and the storm matrix cover the invariants")
+	}
+	assertDeterministic(t, StormSpec{
+		Topo: "shufflenet24",
+		Faults: fault.Options{
 			Seed:        7,
 			LinkDowns:   2,
 			SwitchDowns: 1,
 			Corruptions: 4,
 			Stalls:      2,
 			Window:      30_000,
-		})
+		}})
 }
 
 func TestChaosTorusWithHealing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: the storm matrix includes a healing spec")
+	}
 	// Downs heal after a delay: the injector must restore links and
 	// switches, trigger re-maps back toward the full topology, and the
 	// adapter layer must re-admit healed group members.
-	assertDeterministic(t,
-		func() *topology.Graph { return topology.Torus(8, 8, 1, 1) },
-		fault.Options{
+	assertDeterministic(t, StormSpec{
+		Topo: "torus8x8",
+		Faults: fault.Options{
 			Seed:        1234,
 			LinkDowns:   3,
 			SwitchDowns: 1,
@@ -143,7 +88,7 @@ func TestChaosTorusWithHealing(t *testing.T) {
 			Stalls:      1,
 			Window:      30_000,
 			Heal:        20_000,
-		})
+		}})
 }
 
 // TestChaosTargeted pins an explicit schedule: kill a known cable and a
@@ -155,7 +100,7 @@ func TestChaosTargeted(t *testing.T) {
 	plan := (&fault.Plan{}).
 		LinkDown(5_000, sw[3], 0).
 		SwitchDown(9_000, victim)
-	b := New(t, g, chaosConfig(), plan, fault.InjectorConfig{})
+	b := New(t, g, StormAdapterConfig(), plan, fault.InjectorConfig{})
 
 	hosts := g.Hosts()
 	gen, err := traffic.New(b.K, traffic.Config{

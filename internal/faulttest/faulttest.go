@@ -4,9 +4,14 @@
 // against live traffic and then check the system-wide invariants:
 // conservation of worms, route validity after recovery, absence of
 // deadlock, and no leaked held channels.
+//
+// The invariant checks come in two flavours: error-returning (ConservationErr
+// and friends, usable from non-test code such as the storm matrix consumed
+// by the sweep engine) and testing.TB wrappers that Fatal on violation.
 package faulttest
 
 import (
+	"fmt"
 	"testing"
 
 	"wormlan/internal/adapter"
@@ -21,6 +26,7 @@ import (
 
 // Bench is one fully wired LAN plus its fault injector.
 type Bench struct {
+	// TB is set only by New; the error-returning methods never touch it.
 	TB  testing.TB
 	K   *des.Kernel
 	G   *topology.Graph
@@ -38,32 +44,33 @@ type Bench struct {
 	McDelivered  map[int64]int // transfer ID -> copies delivered
 }
 
-// New builds the stack over g and schedules plan against it.  The injector
-// is wired so that every topology change re-runs the mapper and installs
-// the recomputed routing into both the fabric and the adapter layer.
-func New(tb testing.TB, g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig) *Bench {
-	tb.Helper()
-	b := &Bench{TB: tb, K: des.NewKernel(), G: g, McDelivered: map[int64]int{}}
+// NewBench builds the stack over g and schedules plan against it.  The
+// injector is wired so that every topology change re-runs the mapper and
+// installs the recomputed routing into both the fabric and the adapter
+// layer.  Unlike New it needs no testing.TB, so sweep grids can build
+// benches from worker goroutines.
+func NewBench(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig) (*Bench, error) {
+	b := &Bench{K: des.NewKernel(), G: g, McDelivered: map[int64]int{}}
 
 	m, err := mapper.Run(g, nil)
 	if err != nil {
-		tb.Fatal(err)
+		return nil, err
 	}
 	b.UD, err = updown.New(g, m.Root)
 	if err != nil {
-		tb.Fatal(err)
+		return nil, err
 	}
 	b.Tbl, err = b.UD.NewTable(false)
 	if err != nil {
-		tb.Fatal(err)
+		return nil, err
 	}
 	b.F, err = network.New(b.K, g, b.UD, network.Config{})
 	if err != nil {
-		tb.Fatal(err)
+		return nil, err
 	}
 	b.Sys, err = adapter.NewSystem(b.K, b.F, b.Tbl, acfg, 77)
 	if err != nil {
-		tb.Fatal(err)
+		return nil, err
 	}
 	b.Sys.OnAppDeliver = func(d adapter.AppDelivery) {
 		if d.Transfer != nil {
@@ -79,66 +86,112 @@ func New(tb testing.TB, g *topology.Graph, acfg adapter.Config, plan *fault.Plan
 		}
 	}
 	b.Inj = fault.NewInjector(b.K, b.F, plan, icfg)
+	return b, nil
+}
+
+// New is NewBench for tests: construction errors Fatal tb.
+func New(tb testing.TB, g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig) *Bench {
+	tb.Helper()
+	b, err := NewBench(g, acfg, plan, icfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b.TB = tb
 	return b
 }
 
-// AddGroup registers a multicast group over the given members.
-func (b *Bench) AddGroup(id int, members []topology.NodeID) *multicast.Group {
-	b.TB.Helper()
+// AddGroupErr registers a multicast group over the given members.
+func (b *Bench) AddGroupErr(id int, members []topology.NodeID) (*multicast.Group, error) {
 	grp, err := multicast.NewGroup(id, members)
 	if err != nil {
-		b.TB.Fatal(err)
+		return nil, err
 	}
 	if _, err := b.Sys.AddGroup(grp); err != nil {
+		return nil, err
+	}
+	return grp, nil
+}
+
+// AddGroup registers a multicast group, Fataling on error.
+func (b *Bench) AddGroup(id int, members []topology.NodeID) *multicast.Group {
+	b.TB.Helper()
+	grp, err := b.AddGroupErr(id, members)
+	if err != nil {
 		b.TB.Fatal(err)
 	}
 	return grp
 }
 
-// Run drives the kernel and fails the test if the simulation does not
-// drain before the deadline: with capped retries every protocol activity
-// is finite, so hitting the deadline means the fabric (or a retry loop)
-// wedged.
-func (b *Bench) Run(deadline des.Time) {
-	b.TB.Helper()
+// RunErr drives the kernel and reports an error if the simulation does
+// not drain before the deadline: with capped retries every protocol
+// activity is finite, so hitting the deadline means the fabric (or a
+// retry loop) wedged.
+func (b *Bench) RunErr(deadline des.Time) error {
 	if err := b.K.Run(deadline); err != nil {
-		b.TB.Fatalf("kernel error: %v", err)
+		return fmt.Errorf("kernel error: %w", err)
 	}
 	if n := b.K.Pending(); n != 0 {
-		b.TB.Fatalf("simulation did not drain by t=%d: %d events pending (deadlock?)\n%s",
+		return fmt.Errorf("simulation did not drain by t=%d: %d events pending (deadlock?)\n%s",
 			deadline, n, b.F.StallReport())
 	}
+	return nil
 }
 
-// CheckConservation asserts the fabric-level worm conservation law: every
+// Run drives the kernel, Fataling if the simulation does not drain.
+func (b *Bench) Run(deadline des.Time) {
+	b.TB.Helper()
+	if err := b.RunErr(deadline); err != nil {
+		b.TB.Fatal(err)
+	}
+}
+
+// ConservationErr checks the fabric-level worm conservation law: every
 // injected worm was either delivered or counted as dropped.  (Valid for
 // adapter-level protocols, where every fabric worm is a unicast.)
-func (b *Bench) CheckConservation() {
-	b.TB.Helper()
+func (b *Bench) ConservationErr() error {
 	ctr := b.F.Counters()
 	if ctr.Injected != ctr.Delivered+ctr.WormsDropped {
-		b.TB.Fatalf("conservation violated: injected %d != delivered %d + dropped %d",
+		return fmt.Errorf("conservation violated: injected %d != delivered %d + dropped %d",
 			ctr.Injected, ctr.Delivered, ctr.WormsDropped)
 	}
+	return nil
 }
 
-// CheckNoHeldChannels asserts that no switch output is still bound to a
-// worm — the wormhole equivalent of a leaked lock.
-func (b *Bench) CheckNoHeldChannels() {
+// CheckConservation asserts the conservation law, Fataling on violation.
+func (b *Bench) CheckConservation() {
 	b.TB.Helper()
-	if held := b.F.HeldChannels(); len(held) != 0 {
-		for w, chans := range held {
-			b.TB.Errorf("worm %d still holds %v", w.ID, chans)
-		}
-		b.TB.Fatalf("%d worms hold channels after drain\n%s", len(held), b.F.StallReport())
+	if err := b.ConservationErr(); err != nil {
+		b.TB.Fatal(err)
 	}
 }
 
-// CheckRoutes verifies, for every ordered pair of reachable hosts, that
-// the surviving route table has a route and that it is valid over the
-// surviving subgraph (crosses no failed link, respects up*/down*).
-func (b *Bench) CheckRoutes() {
+// HeldChannelsErr checks that no switch output is still bound to a worm —
+// the wormhole equivalent of a leaked lock.
+func (b *Bench) HeldChannelsErr() error {
+	held := b.F.HeldChannels()
+	if len(held) == 0 {
+		return nil
+	}
+	msg := ""
+	for w, chans := range held {
+		msg += fmt.Sprintf("worm %d still holds %v; ", w.ID, chans)
+	}
+	return fmt.Errorf("%d worms hold channels after drain: %s\n%s",
+		len(held), msg, b.F.StallReport())
+}
+
+// CheckNoHeldChannels asserts no held channels, Fataling on violation.
+func (b *Bench) CheckNoHeldChannels() {
 	b.TB.Helper()
+	if err := b.HeldChannelsErr(); err != nil {
+		b.TB.Fatal(err)
+	}
+}
+
+// RoutesErr verifies, for every ordered pair of reachable hosts, that the
+// surviving route table has a route and that it is valid over the
+// surviving subgraph (crosses no failed link, respects up*/down*).
+func (b *Bench) RoutesErr() error {
 	hosts := b.G.Hosts()
 	checked := 0
 	for _, src := range hosts {
@@ -148,16 +201,25 @@ func (b *Bench) CheckRoutes() {
 			}
 			rt := b.Tbl.Lookup(src, dst)
 			if len(rt.Ports) == 0 {
-				b.TB.Fatalf("no surviving route %d -> %d", src, dst)
+				return fmt.Errorf("no surviving route %d -> %d", src, dst)
 			}
 			if err := b.UD.VerifyRoute(rt); err != nil {
-				b.TB.Fatalf("route %d -> %d invalid after recovery: %v", src, dst, err)
+				return fmt.Errorf("route %d -> %d invalid after recovery: %w", src, dst, err)
 			}
 			checked++
 		}
 	}
 	if checked == 0 {
-		b.TB.Fatal("no reachable host pairs survived — nothing verified")
+		return fmt.Errorf("no reachable host pairs survived — nothing verified")
+	}
+	return nil
+}
+
+// CheckRoutes asserts route validity, Fataling on violation.
+func (b *Bench) CheckRoutes() {
+	b.TB.Helper()
+	if err := b.RoutesErr(); err != nil {
+		b.TB.Fatal(err)
 	}
 }
 

@@ -1,0 +1,182 @@
+package faulttest
+
+import (
+	"context"
+	"fmt"
+
+	"wormlan/internal/adapter"
+	"wormlan/internal/des"
+	"wormlan/internal/fault"
+	"wormlan/internal/sweep"
+	"wormlan/internal/topology"
+	"wormlan/internal/traffic"
+)
+
+// StormSpec declares one chaos scenario: a topology, a random fault
+// schedule, and the traffic offered while the storm runs.  A spec is
+// plain data (JSON-marshalable), so a matrix of specs forms a sweep grid
+// and storms fan out across workers like any other figure.
+type StormSpec struct {
+	Name string `json:"name"`
+	// Topo names the fabric: "torus8x8" or "shufflenet24".
+	Topo string `json:"topo"`
+	// Faults parameterizes fault.RandomPlan.  A zero Seed is replaced by
+	// the sweep's derived per-point seed.
+	Faults fault.Options `json:"faults"`
+	// Traffic offered during the storm (defaults: load 0.02, mean worm
+	// 300 bytes, 20% multicast, generator seed 5).
+	OfferedLoad   float64 `json:"load,omitempty"`
+	MulticastProb float64 `json:"mcProb,omitempty"`
+	MeanWorm      int     `json:"meanWorm,omitempty"`
+	TrafficSeed   uint64  `json:"trafficSeed,omitempty"`
+}
+
+// BuildTopo constructs the fabric a spec names.
+func BuildTopo(name string) (*topology.Graph, error) {
+	switch name {
+	case "torus8x8":
+		return topology.Torus(8, 8, 1, 1), nil
+	case "shufflenet24":
+		return topology.BidirShufflenet(2, 3, 1000), nil
+	default:
+		return nil, fmt.Errorf("faulttest: unknown topology %q", name)
+	}
+}
+
+// StormAdapterConfig keeps retries finite and timeouts short so give-ups
+// resolve well before the drain deadline.
+func StormAdapterConfig() adapter.Config {
+	return adapter.Config{
+		Mode:           adapter.ModeCircuit,
+		CutThrough:     true,
+		MaxRetries:     3,
+		AckTimeoutBase: 16384,
+		NackBackoff:    2048,
+	}
+}
+
+// RunStorm executes one chaos scenario to quiescence and verifies the
+// system-wide invariants: the schedule actually hit the fabric, traffic
+// survived, worms were conserved, no channels leaked, and the recovered
+// routes verify.  It returns the run's comparable Outcome; two calls with
+// the same spec return identical outcomes (the determinism the storm
+// matrix test pins across worker counts).
+func RunStorm(spec StormSpec) (Outcome, error) {
+	var zero Outcome
+	g, err := BuildTopo(spec.Topo)
+	if err != nil {
+		return zero, err
+	}
+	if spec.OfferedLoad == 0 {
+		spec.OfferedLoad = 0.02
+	}
+	if spec.MulticastProb == 0 {
+		spec.MulticastProb = 0.2
+	}
+	if spec.MeanWorm == 0 {
+		spec.MeanWorm = 300
+	}
+	if spec.TrafficSeed == 0 {
+		spec.TrafficSeed = 5
+	}
+	plan := fault.RandomPlan(g, spec.Faults)
+	b, err := NewBench(g, StormAdapterConfig(), plan, fault.InjectorConfig{})
+	if err != nil {
+		return zero, err
+	}
+
+	hosts := g.Hosts()
+	grpA, err := b.AddGroupErr(0, hosts[:len(hosts)/2])
+	if err != nil {
+		return zero, err
+	}
+	grpB, err := b.AddGroupErr(1, hosts[len(hosts)/3:])
+	if err != nil {
+		return zero, err
+	}
+	groupsOf := map[topology.NodeID][]int{}
+	for _, h := range grpA.Members {
+		groupsOf[h] = append(groupsOf[h], 0)
+	}
+	for _, h := range grpB.Members {
+		groupsOf[h] = append(groupsOf[h], 1)
+	}
+	gen, err := traffic.New(b.K, traffic.Config{
+		OfferedLoad:   spec.OfferedLoad,
+		MeanWorm:      spec.MeanWorm,
+		MulticastProb: spec.MulticastProb,
+		Until:         des.Time(spec.Faults.Window) * 2,
+	}, hosts, groupsOf, b.Sys, spec.TrafficSeed)
+	if err != nil {
+		return zero, err
+	}
+	gen.Start()
+
+	if err := b.RunErr(des.Time(spec.Faults.Window) * 40); err != nil {
+		return zero, err
+	}
+
+	// The schedule must actually have hit the fabric mid-run.
+	ic := b.Inj.Counters()
+	if spec.Faults.LinkDowns > 0 && ic.LinkDowns < 1 {
+		return zero, fmt.Errorf("chaos plan killed no links: %+v", ic)
+	}
+	if spec.Faults.SwitchDowns > 0 && ic.SwitchDowns < 1 {
+		return zero, fmt.Errorf("chaos plan killed no switches: %+v", ic)
+	}
+	if (spec.Faults.LinkDowns > 0 || spec.Faults.SwitchDowns > 0) && ic.Remaps < 1 {
+		return zero, fmt.Errorf("no remap completed: %+v", ic)
+	}
+	worms, _, _ := gen.Generated()
+	if worms == 0 {
+		return zero, fmt.Errorf("no traffic generated")
+	}
+	if b.UniDelivered == 0 {
+		return zero, fmt.Errorf("no unicast deliveries survived the storm")
+	}
+
+	if err := b.ConservationErr(); err != nil {
+		return zero, err
+	}
+	if err := b.HeldChannelsErr(); err != nil {
+		return zero, err
+	}
+	if err := b.RoutesErr(); err != nil {
+		return zero, err
+	}
+	return b.Outcome(), nil
+}
+
+// StormGrid expresses a storm matrix as a sweep grid.  Specs with a zero
+// fault seed get the derived per-point seed, so the matrix is collision-
+// free by construction and stable under reordering.
+func StormGrid(specs []StormSpec, baseSeed uint64) sweep.Grid[Outcome] {
+	g := sweep.Grid[Outcome]{Name: "storm-matrix", BaseSeed: baseSeed}
+	for _, spec := range specs {
+		spec := spec
+		g.Add(spec, func(_ context.Context, seed uint64) (Outcome, error) {
+			s := spec
+			if s.Faults.Seed == 0 {
+				s.Faults.Seed = seed
+			}
+			return RunStorm(s)
+		})
+	}
+	return g
+}
+
+// DefaultStormMatrix is the storm matrix exercised by tests and
+// `mcbench`-adjacent tooling: both reference fabrics under storms of
+// varying severity, with and without healing.
+func DefaultStormMatrix() []StormSpec {
+	return []StormSpec{
+		{Name: "torus-storm", Topo: "torus8x8",
+			Faults: fault.Options{Seed: 42, LinkDowns: 3, SwitchDowns: 1, Corruptions: 4, Stalls: 2, Window: 30_000}},
+		{Name: "torus-healing", Topo: "torus8x8",
+			Faults: fault.Options{Seed: 1234, LinkDowns: 3, SwitchDowns: 1, Corruptions: 2, Stalls: 1, Window: 30_000, Heal: 20_000}},
+		{Name: "shufflenet-storm", Topo: "shufflenet24",
+			Faults: fault.Options{Seed: 7, LinkDowns: 2, SwitchDowns: 1, Corruptions: 4, Stalls: 2, Window: 30_000}},
+		{Name: "shufflenet-light", Topo: "shufflenet24",
+			Faults: fault.Options{Seed: 11, LinkDowns: 1, SwitchDowns: 1, Corruptions: 1, Stalls: 1, Window: 30_000}},
+	}
+}

@@ -194,6 +194,12 @@ func (f *Fabric) killLink(l *dlink) {
 	for s := 0; s < l.delay; s++ {
 		if l.occ[s] {
 			f.ctr.FlitsDropped++
+			// A worm with any flit still in flight here has lost its tail:
+			// the downstream copy can never complete.  On long links a whole
+			// worm can sit in the pipeline with the sender already done and
+			// the receiver still unaware, so neither endpoint path would
+			// attribute the loss.
+			f.dropWorm(l.pipe[s].W)
 			l.occ[s] = false
 			l.pipe[s] = flit.Flit{}
 		}

@@ -127,6 +127,15 @@ type Results struct {
 	// Stalled is set when worms remained frozen in the fabric at the end
 	// of the run — the observable symptom of a deadlock.
 	Stalled bool
+	// Drained is set when the event queue emptied before the deadline:
+	// traffic generation stopped, every retry resolved, and nothing is in
+	// flight.  Only on a drained run do the quiescent invariants
+	// (conservation, no held channels) have to hold exactly.
+	Drained bool
+	// HeldChannels counts switch outputs still bound to a worm when the
+	// run stopped — the wormhole equivalent of leaked locks.  Zero on any
+	// drained run.
+	HeldChannels int
 	// EndTime is the simulation time at which the run stopped.
 	EndTime des.Time
 }
@@ -309,6 +318,8 @@ func Run(cfg Config) (*Results, error) {
 		res.Fault = inj.Counters()
 	}
 	res.Stalled = fab.Stalled(10 * des.Time(cfg.MeanWorm))
+	res.Drained = k.Pending() == 0
+	res.HeldChannels = len(fab.HeldChannels())
 	res.EndTime = k.Now()
 	return res, nil
 }

@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Cache memoizes completed sweep points on disk, one JSON file per point
+// keyed by PointIdentity.  Because keys hash the full point config (plus
+// grid name and base seed), a cache directory can safely be shared by
+// every figure and reused across runs: editing one figure's grid only
+// misses on the cells that actually changed.
+//
+// Writes are atomic (temp file + rename), so a cache directory shared by
+// concurrent workers — or concurrent mcbench processes — never exposes a
+// torn entry.  JSON round-trips float64 exactly (shortest-representation
+// encoding), so a cache hit returns bit-identical rows to the run that
+// filled it; the property test in sweep_test.go pins this.
+type Cache struct {
+	dir string
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads the entry for key into out.  A missing or undecodable entry
+// is a miss (undecodable entries — interrupted writes from pre-rename
+// crashes, schema drift — heal on the next Put).
+func (c *Cache) Get(key string, out any) (bool, error) {
+	b, err := os.ReadFile(c.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("sweep: cache read %s: %w", key, err)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Put stores v under key atomically.
+func (c *Cache) Put(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: cache encode %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache write %s: %w", key, err)
+	}
+	_, werr := tmp.Write(b)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write %s: %w", key, errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache write %s: %w", key, err)
+	}
+	return nil
+}
