@@ -1,0 +1,22 @@
+// Command wormlint statically enforces the simulator's determinism
+// contract (see internal/lint and DESIGN.md §9).
+//
+// Standalone:
+//
+//	go run ./cmd/wormlint ./...
+//
+// As a vet tool (what CI runs):
+//
+//	go build -o bin/wormlint ./cmd/wormlint
+//	go vet -vettool=bin/wormlint ./...
+package main
+
+import (
+	"os"
+
+	"wormlan/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:]))
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildWormlint compiles the linter once per test process.
+func buildWormlint(t *testing.T) string {
+	t.Helper()
+	gocmd, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go command not in PATH")
+	}
+	exe := filepath.Join(t.TempDir(), "wormlint")
+	cmd := exec.Command(gocmd, "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building wormlint: %v\n%s", err, out)
+	}
+	return exe
+}
+
+// TestRepoComesUpClean is the contract's local enforcement: the whole
+// repository must produce zero wormlint diagnostics, the same gate CI
+// applies to every PR.
+func TestRepoComesUpClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping whole-repo vet")
+	}
+	exe := buildWormlint(t)
+	cmd := exec.Command(exe, "wormlan/...")
+	cmd.Dir = ".." + string(os.PathSeparator) + ".." // repo root
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("wormlint found violations (or failed): %v\n%s", err, out.String())
+	}
+	if s := strings.TrimSpace(out.String()); s != "" {
+		t.Fatalf("expected silent clean run, got:\n%s", s)
+	}
+}
+
+// TestVettoolCatchesViolations drives the full go vet -vettool protocol
+// against a scratch module containing one violation of each analyzer.
+func TestVettoolCatchesViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping vettool round-trip")
+	}
+	exe := buildWormlint(t)
+	gocmd, _ := exec.LookPath("go")
+
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/sim/bad.go", `package sim
+
+import "time"
+
+func Bad(m map[int]int, ch chan int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	go func() { ch <- total }()
+	_ = time.Now()
+	return total
+}
+`)
+
+	cmd := exec.Command(gocmd, "vet", "-vettool="+exe, "./...")
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on a package with violations:\n%s", out.String())
+	}
+	got := out.String()
+	for _, wantFrag := range []string{
+		"wormlint/maporder",
+		"wormlint/nogoroutine",
+		"wormlint/wallclock",
+		"range over map is nondeterministic",
+		"go statement in deterministic kernel",
+		"time.Now reads the host clock",
+	} {
+		if !strings.Contains(got, wantFrag) {
+			t.Errorf("vet output missing %q:\n%s", wantFrag, got)
+		}
+	}
+}

@@ -312,6 +312,7 @@ func (inj *Injector) scheduleRemap() {
 func (inj *Injector) Remap() {
 	fail := inj.F.Failures()
 	failedLinks := make(map[mapper.LinkID]bool, len(fail.Links))
+	//wormlint:ordered set re-keyed into a set; insertion order is invisible
 	for e := range fail.Links {
 		failedLinks[mapper.LinkID{Node: e.Node, Port: e.Port}] = true
 	}

@@ -12,11 +12,13 @@ package faulttest
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
+	"wormlan/internal/flit"
 	"wormlan/internal/mapper"
 	"wormlan/internal/multicast"
 	"wormlan/internal/network"
@@ -166,15 +168,22 @@ func (b *Bench) CheckConservation() {
 }
 
 // HeldChannelsErr checks that no switch output is still bound to a worm —
-// the wormhole equivalent of a leaked lock.
+// the wormhole equivalent of a leaked lock.  The report lists worms in ID
+// order: the message is asserted byte-for-byte by determinism replays, so
+// its wording must not depend on map iteration order.
 func (b *Bench) HeldChannelsErr() error {
 	held := b.F.HeldChannels()
 	if len(held) == 0 {
 		return nil
 	}
+	worms := make([]*flit.Worm, 0, len(held))
+	for w := range held {
+		worms = append(worms, w)
+	}
+	sort.Slice(worms, func(i, j int) bool { return worms[i].ID < worms[j].ID })
 	msg := ""
-	for w, chans := range held {
-		msg += fmt.Sprintf("worm %d still holds %v; ", w.ID, chans)
+	for _, w := range worms {
+		msg += fmt.Sprintf("worm %d still holds %v; ", w.ID, held[w])
 	}
 	return fmt.Errorf("%d worms hold channels after drain: %s\n%s",
 		len(held), msg, b.F.StallReport())
@@ -245,6 +254,7 @@ func (b *Bench) Outcome() Outcome {
 		Uni:     b.UniDelivered,
 		McCount: len(b.McDelivered),
 	}
+	//wormlint:ordered integer sum over all values; addition is commutative
 	for _, c := range b.McDelivered {
 		o.McSum += c
 	}

@@ -1,0 +1,177 @@
+package lint
+
+// A miniature analysistest: testdata/src holds GOPATH-style packages whose
+// sources carry `// want "regexp"` comments on the lines where an analyzer
+// must report (multiple quoted regexps on one line expect multiple
+// diagnostics).  runAnalyzers loads and type-checks one such package —
+// resolving testdata-local imports from testdata/src and everything else
+// from the standard library's source — runs the given analyzers, and
+// diffs actual diagnostics against the want comments.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// testLoader loads testdata packages recursively with position info shared
+// across the run.
+type testLoader struct {
+	fset   *token.FileSet
+	root   string // testdata/src
+	pkgs   map[string]*loadedPkg
+	stdlib types.Importer
+}
+
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	err   error
+}
+
+func newTestLoader(t *testing.T) *testLoader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	return &testLoader{
+		fset:   fset,
+		root:   root,
+		pkgs:   make(map[string]*loadedPkg),
+		stdlib: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import implements types.Importer over testdata/src, falling back to the
+// standard library for everything else.
+func (l *testLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); isDir(dir) {
+		p := l.load(path)
+		return p.pkg, p.err
+	}
+	return l.stdlib.Import(path)
+}
+
+func isDir(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+func (l *testLoader) load(path string) *loadedPkg {
+	if p, ok := l.pkgs[path]; ok {
+		return p
+	}
+	p := &loadedPkg{}
+	l.pkgs[path] = p
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		p.err = err
+		return p
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			p.err = err
+			return p
+		}
+		// An external test package (package foo_test) would need its own
+		// unit; the testdata corpus does not use them.
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		p.err = fmt.Errorf("no Go files in %s", dir)
+		return p
+	}
+	info := newTypesInfo()
+	tc := &types.Config{Importer: l}
+	pkg, err := tc.Check(path, l.fset, p.files, info)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.pkg, p.info = pkg, info
+	return p
+}
+
+// wantRx extracts the quoted regexps of a want comment; both Go string
+// forms are accepted: want "..." and want `...`.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// runAnalyzers loads pkgpath from testdata, runs the analyzers, and diffs
+// diagnostics against the package's want comments.
+func runAnalyzers(t *testing.T, pkgpath string, analyzers ...*Analyzer) {
+	t.Helper()
+	l := newTestLoader(t)
+	p := l.load(pkgpath)
+	if p.err != nil {
+		t.Fatalf("loading %s: %v", pkgpath, p.err)
+	}
+	diags, err := RunPackage(l.fset, p.files, p.pkg, p.info, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", pkgpath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range p.files {
+		fname := l.fset.Position(f.Package).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				k := key{fname, l.fset.Position(c.Pos()).Line}
+				for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					rx, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, k.line, expr, err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := l.fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, rx := range wants[k] {
+			if rx.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, rx)
+		}
+	}
+}

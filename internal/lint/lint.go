@@ -1,0 +1,162 @@
+// Package lint is wormlint: a suite of static analyzers that enforce the
+// simulator's determinism contract.
+//
+// The whole reproduction rests on bit-for-bit determinism: the sweep
+// engine promises byte-identical rows at any worker count, the chaos
+// harness asserts that seeded failure storms replay exactly, and every
+// golden result file is a hash of the simulator's behaviour.  That
+// contract is easy to break silently — one `for range` over a Go map in a
+// hot path, one wall-clock read in the DES kernel — and no amount of
+// after-the-fact equivalence testing can prove its absence.  wormlint
+// makes the contract machine-checked.
+//
+// Four analyzers run over the deterministic packages (see Scope):
+//
+//   - maporder: flags `for range` over map types unless the loop is a
+//     pure key-collect (append keys to a slice, to be sorted) or carries
+//     a `//wormlint:ordered <justification>` comment for loops whose
+//     bodies are provably order-insensitive.
+//   - wallclock: forbids time.Now/Since/Sleep and timers in sim-core;
+//     simulation time is des.Time, never the host clock.  The sweep
+//     engine and benchmark CLIs keep their progress timing (out of
+//     scope by construction).
+//   - seeddiscipline: all randomness flows through internal/rng, seeded
+//     from config/sweep identity.  Imports of math/rand (v1 or v2) and
+//     crypto/rand are flagged, as are rng constructors called with a
+//     bare literal seed.
+//   - nogoroutine: the deterministic kernel is single-threaded; `go`
+//     statements, channel operations, and select have no place in it.
+//     Concurrency belongs to internal/sweep, which runs whole
+//     simulations in parallel, never one simulation concurrently.
+//
+// The suite is stdlib-only (go/ast + go/types); it deliberately does not
+// depend on golang.org/x/tools so the repo stays dependency-free.
+// cmd/wormlint exposes it standalone and as a `go vet -vettool`.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check.  The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite could be rebased
+// onto x/tools without touching the checks themselves.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test source files.  Test files are
+	// type-checked as part of the unit but never analyzed: the contract
+	// governs the simulator, not its test harnesses.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	ordered map[*ast.File]orderedIndex
+}
+
+// A Diagnostic is one finding, positioned for file:line:col display.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers is the full wormlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, WallClock, SeedDiscipline, NoGoroutine}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage runs the given analyzers over one type-checked package and
+// returns the diagnostics sorted by position.  files must belong to fset;
+// test files (name ending in _test.go) are filtered out here.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var nonTest []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     nonTest,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	// Insertion sort by (file, offset, analyzer): diagnostic counts are
+	// tiny and this keeps the package free of sort-interface boilerplate.
+	less := func(a, b Diagnostic) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Offset != pb.Offset {
+			return pa.Offset < pb.Offset
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && less(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+// walk applies fn to every node of every (non-test) file of the pass.
+func (p *Pass) walk(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// fileOf returns the *ast.File containing pos.
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package lint
+
+import "testing"
+
+func TestMapOrderGolden(t *testing.T) {
+	runAnalyzers(t, "a/internal/sim", MapOrder)
+}
+
+func TestWallClockGolden(t *testing.T) {
+	runAnalyzers(t, "a/internal/des", WallClock)
+}
+
+func TestSeedDisciplineGolden(t *testing.T) {
+	runAnalyzers(t, "a/internal/traffic", SeedDiscipline)
+}
+
+func TestNoGoroutineGolden(t *testing.T) {
+	runAnalyzers(t, "a/internal/eventq", NoGoroutine)
+}
+
+// TestSweepAllowlist runs the ENTIRE suite over a package shaped like the
+// real sweep engine — wall-clock timing, goroutines, channels, math/rand,
+// unordered map walks — and expects zero diagnostics: concurrency and
+// progress timing belong to the sweep layer by design, and the analyzers
+// must stay scoped to the deterministic packages.
+func TestSweepAllowlist(t *testing.T) {
+	runAnalyzers(t, "a/internal/sweep", Analyzers()...)
+}
+
+// TestRngExemptFromSeedDiscipline: the sanctioned randomness package
+// itself is where seeds terminate; it must not be flagged.
+func TestRngExemptFromSeedDiscipline(t *testing.T) {
+	runAnalyzers(t, "a/internal/rng", Analyzers()...)
+}
+
+func TestScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"wormlan/internal/sim":                    true,
+		"wormlan/internal/des":                    true,
+		"wormlan/internal/adapter":                true,
+		"wormlan/internal/sweep":                  false,
+		"wormlan/internal/emu":                    false,
+		"wormlan/internal/lint":                   false,
+		"wormlan/cmd/mcbench":                     false,
+		"internal/sim":                            true,
+		"wormlan/internal/sim [wormlan/sim.test]": true,
+		"wormlan/internal/simx":                   false,
+		"example.com/other/internal/eventq":       true,
+		"wormlan/internal/sweep [wormlan/s.test]": false,
+	} {
+		if got := InScope(path); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if !rngScope("wormlan/internal/rng") || rngScope("wormlan/internal/rngx") || rngScope("wormlan/internal/sim") {
+		t.Error("rngScope misclassifies")
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// deterministicScope lists the package path suffixes whose code must obey
+// the determinism contract: everything that executes between des.Kernel
+// event dispatches, plus the harness code whose formatted output lands in
+// golden files and test assertions.
+//
+// internal/sweep and the cmd/ binaries are deliberately absent: the sweep
+// engine owns all concurrency and progress timing (it parallelizes whole
+// simulations, each of which is deterministic), and the CLIs may report
+// wall-clock elapsed time.  internal/emu is absent because it is a
+// real-time Myrinet emulation — wall-clock time IS its simulation clock.
+// internal/rng is absent from seed checks because it is the sanctioned
+// randomness implementation.
+var deterministicScope = []string{
+	"internal/des",
+	"internal/eventq",
+	"internal/network",
+	"internal/adapter",
+	"internal/switchmc",
+	"internal/multicast",
+	"internal/sim",
+	"internal/fault",
+	"internal/updown",
+	"internal/route",
+	"internal/core",
+	// Beyond the contract's original kernel list: these feed the kernel
+	// deterministically (topology/route construction, traffic draws,
+	// statistics, the distributed mapper) or assert over its state
+	// (faulttest), so their output is equally golden.
+	"internal/flit",
+	"internal/topology",
+	"internal/traffic",
+	"internal/mapper",
+	"internal/stats",
+	"internal/ipmap",
+	"internal/faulttest",
+}
+
+// InScope reports whether the package at path is governed by the
+// determinism contract.
+func InScope(path string) bool {
+	// Strip the " [pkg.test]" suffix go vet appends to test variants of a
+	// package: the non-test files of a test unit are still in scope.
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	for _, s := range deterministicScope {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// rngScope reports whether path is the sanctioned randomness package.
+func rngScope(path string) bool {
+	return path == "internal/rng" || strings.HasSuffix(path, "/internal/rng")
+}
+
+// orderedMarker is the annotation that exempts a provably
+// order-insensitive map iteration from the maporder analyzer.  It must be
+// followed by a justification; a bare marker is itself a diagnostic.
+const orderedMarker = "wormlint:ordered"
+
+// orderedIndex maps the line numbers carrying a `//wormlint:ordered`
+// comment to whether the marker has a non-empty justification.
+type orderedIndex map[int]bool
+
+// orderedAt reports whether the statement starting at pos is annotated
+// with the ordered marker (same line or the line immediately above) and
+// whether that annotation carries a justification.
+func (p *Pass) orderedAt(pos token.Pos) (annotated, justified bool) {
+	f := p.fileOf(pos)
+	if f == nil {
+		return false, false
+	}
+	if p.ordered == nil {
+		p.ordered = make(map[*ast.File]orderedIndex)
+	}
+	idx, ok := p.ordered[f]
+	if !ok {
+		idx = make(orderedIndex)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, orderedMarker) {
+					continue
+				}
+				just := strings.TrimSpace(strings.TrimPrefix(text, orderedMarker))
+				idx[p.Fset.Position(c.Pos()).Line] = just != ""
+			}
+		}
+		p.ordered[f] = idx
+	}
+	line := p.Fset.Position(pos).Line
+	if j, ok := idx[line]; ok {
+		return true, j
+	}
+	if j, ok := idx[line-1]; ok {
+		return true, j
+	}
+	return false, false
+}

@@ -1,0 +1,28 @@
+// Package des exercises the wallclock analyzer inside the deterministic
+// scope.
+package des
+
+import "time"
+
+func clockReadsAreFlagged() time.Duration {
+	t0 := time.Now()             // want `time.Now reads the host clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the host clock`
+	elapsed := time.Since(t0)    // want `time.Since reads the host clock`
+	return elapsed
+}
+
+func timersAreFlagged() {
+	tm := time.NewTimer(time.Second) // want `time.NewTimer reads the host clock`
+	tm.Stop()
+	tk := time.NewTicker(time.Second) // want `time.NewTicker reads the host clock`
+	tk.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `time.AfterFunc reads the host clock`
+}
+
+func durationArithmeticIsFine(n int) time.Duration {
+	d := time.Duration(n) * time.Millisecond
+	if d > 3*time.Second {
+		d = 3 * time.Second
+	}
+	return d.Round(time.Microsecond)
+}

@@ -1,0 +1,42 @@
+// Package eventq exercises the nogoroutine analyzer inside the
+// deterministic kernel scope.
+package eventq
+
+func concurrencyIsFlagged(ch chan int) {
+	go drain(ch) // want `go statement in deterministic kernel`
+	ch <- 1      // want `channel send in deterministic kernel`
+	v := <-ch    // want `channel receive in deterministic kernel`
+	_ = v
+	close(ch) // want `close of channel in deterministic kernel`
+}
+
+func selectIsFlagged(a, b chan int) int {
+	select { // want `select in deterministic kernel`
+	case v := <-a: // want `channel receive in deterministic kernel`
+		return v
+	case v := <-b: // want `channel receive in deterministic kernel`
+		return v
+	}
+}
+
+func makeChanIsFlagged() {
+	ch := make(chan int, 4) // want `make\(chan\) in deterministic kernel`
+	_ = ch
+}
+
+func rangeOverChannelIsFlagged(ch chan int) int {
+	total := 0
+	for v := range ch { // want `range over channel in deterministic kernel`
+		total += v
+	}
+	return total
+}
+
+func drain(ch chan int) {
+	for range ch { // want `range over channel in deterministic kernel`
+	}
+}
+
+func makeSliceAndMapAreFine() ([]int, map[int]int) {
+	return make([]int, 4), make(map[int]int)
+}

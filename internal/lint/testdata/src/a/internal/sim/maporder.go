@@ -1,0 +1,99 @@
+// Package sim exercises the maporder analyzer: its import path suffix
+// internal/sim places it inside the deterministic scope.
+package sim
+
+import "sort"
+
+func plainWalkIsFlagged(m map[int]string) string {
+	out := ""
+	for k, v := range m { // want "range over map is nondeterministic"
+		out += v
+		_ = k
+	}
+	return out
+}
+
+func floatSumIsFlagged(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "range over map is nondeterministic"
+		sum += v
+	}
+	return sum
+}
+
+func keyCollectIsAllowed(m map[int]string) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func filteredKeyCollectIsAllowed(m map[int]string, cut int) []int {
+	var big []int
+	for k := range m {
+		if k < cut {
+			continue
+		}
+		if len(m[k]) > 0 {
+			big = append(big, k)
+		}
+	}
+	sort.Ints(big)
+	return big
+}
+
+func clearByDeleteIsAllowed(m map[int]string) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func deleteFromOtherMapIsFlagged(m, other map[int]string) {
+	for k := range m { // want "range over map is nondeterministic"
+		delete(other, k)
+	}
+}
+
+func justifiedAnnotationIsAllowed(m map[int]int) int {
+	total := 0
+	//wormlint:ordered integer sum; addition is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func inlineJustifiedAnnotationIsAllowed(dst, src map[int]int) {
+	for k, v := range src { //wormlint:ordered map copied into map
+		dst[k] = v
+	}
+}
+
+func bareAnnotationIsFlagged(m map[int]int) int {
+	total := 0
+	//wormlint:ordered
+	for _, v := range m { // want "bare //wormlint:ordered marker"
+		total += v
+	}
+	return total
+}
+
+func sliceWalkIsFine(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+type wrapped map[string]int
+
+func namedMapTypeIsFlagged(m wrapped) int {
+	n := 0
+	for range m { // want "range over map is nondeterministic"
+		n++
+	}
+	return n
+}

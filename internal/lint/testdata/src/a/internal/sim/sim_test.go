@@ -1,0 +1,12 @@
+package sim
+
+// Test files are exempt from the determinism contract: this map walk must
+// produce no diagnostics.
+
+func walkForAssertions(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,25 @@
+// Package sweep mirrors the real sweep engine's position OUTSIDE the
+// deterministic scope: it runs whole (deterministic) simulations on
+// worker goroutines and reports wall-clock progress.  Every construct in
+// this file would be a diagnostic inside the scope; here the whole suite
+// must stay silent — the allowlist is scoping, not suppression.
+package sweep
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Progress times a fan-out and aggregates per-worker counts.
+func Progress(counts map[string]int) time.Duration {
+	start := time.Now()
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	done := make(chan int)
+	go func() { done <- total + rand.Int() }()
+	<-done
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}

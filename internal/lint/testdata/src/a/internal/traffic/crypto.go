@@ -1,0 +1,7 @@
+package traffic
+
+import crand "crypto/rand" // want `import of crypto/rand breaks seed discipline`
+
+func cryptoRandIsFlaggedViaImport(b []byte) {
+	_, _ = crand.Read(b)
+}

@@ -1,0 +1,32 @@
+// Package traffic exercises the seeddiscipline analyzer inside the
+// deterministic scope.
+package traffic
+
+import (
+	"math/rand" // want `import of math/rand breaks seed discipline`
+
+	"a/internal/rng"
+)
+
+func globalRandIsFlaggedViaImport() int { return rand.Int() }
+
+func literalSeedsAreFlagged(seed uint64) {
+	a := rng.New(12345, 7) // want `bare constant seed in rng.New call`
+	_ = a
+	const fixed = 99
+	b := rng.New(fixed, 1) // want `bare constant seed in rng.New call`
+	_ = b
+	c := rng.New(uint64(42), 2) // want `bare constant seed in rng.New call`
+	_ = c
+}
+
+func configSeedsAreFine(seed uint64, index int) {
+	a := rng.New(seed, 0x6709) // literal stream selectors are idiomatic
+	_ = a
+	b := rng.New(seed+uint64(index)*0x9E3779B9, 0)
+	_ = b
+}
+
+func drawsAreNeverSeedChecks(r *rng.Source) int {
+	return r.Intn(400) // method on a seeded source: fine
+}

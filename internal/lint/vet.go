@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// This file implements the command-line protocol 'go vet -vettool=...'
+// requires of an analysis tool (the same contract as x/tools'
+// unitchecker, reimplemented on the stdlib so the repo stays
+// dependency-free):
+//
+//	-V=full    describe the executable for build caching
+//	-flags     describe supported flags in JSON
+//	foo.cfg    analyze the single compilation unit described by the
+//	           JSON config file, type-checking against the export data
+//	           the build system already produced
+//
+// Invoked with package patterns instead, wormlint re-execs itself through
+// 'go vet -vettool=$self', which hands it one correctly type-checked
+// compilation unit per package — no second package-loading path to
+// maintain, and diagnostics come out in go vet's native format.
+
+// vetConfig mirrors the JSON compilation-unit description go vet writes
+// for a -vettool.  Field names are the protocol; unknown fields are
+// ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the wormlint entry point; it returns the process exit code.
+func Main(args []string) int {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			return printVersion()
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: an empty JSON descriptor list.
+			fmt.Println("[]")
+			return 0
+		case a == "-h" || a == "-help" || a == "--help":
+			usage()
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetUnit(args[0])
+	}
+	return standalone(args)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `wormlint statically enforces the simulator's determinism contract.
+
+Usage:
+	wormlint [packages]          analyze packages (default ./...)
+	go vet -vettool=$(which wormlint) [packages]
+
+Analyzers:
+`)
+	for _, a := range Analyzers() {
+		fmt.Fprintf(os.Stderr, "	%-16s %s\n", a.Name, a.Doc)
+	}
+}
+
+// printVersion implements the -V=full build-caching handshake: the output
+// must identify the tool's contents so 'go vet' can cache results.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}
+
+// standalone re-execs through go vet so the build system loads and
+// type-checks packages for us.
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	gocmd, err := exec.LookPath("go")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint: go command not found:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command(gocmd, append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	return 0
+}
+
+// vetUnit analyzes one compilation unit described by a go vet config file.
+func vetUnit(configFile string) int {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "wormlint: cannot decode config %s: %v\n", configFile, err)
+		return 1
+	}
+	// The protocol requires the fact-output file to exist even though
+	// wormlint's analyzers produce no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "wormlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it with better context
+			}
+			fmt.Fprintln(os.Stderr, "wormlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the export data the build system already wrote:
+	// ImportMap takes import paths to package paths (vendoring), and
+	// PackageFile takes package paths to export-data files.
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+
+	diags, err := RunPackage(fset, files, pkg, info, Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wormlint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [wormlint/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// newTypesInfo allocates every map an analyzer may consult.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

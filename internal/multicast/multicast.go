@@ -292,8 +292,12 @@ func (t *Tree) Validate() error {
 // average, which is why it achieves higher total throughput (Section 7.1).
 func (t *Tree) WireHops(topo *topology.Graph) int {
 	total := 0
-	for c, p := range t.parent {
-		if p == topology.None {
+	// Iterate the (sorted) membership rather than the parent map: the sum
+	// itself is order-insensitive, but member order keeps any future
+	// instrumentation of this walk deterministic for free.
+	for _, c := range t.Group.Members {
+		p, err := t.Parent(c)
+		if err != nil || p == topology.None {
 			continue
 		}
 		total += topo.SwitchHops(p, c)

@@ -174,9 +174,9 @@ type Fabric struct {
 	ctr      Counters
 
 	// Failure state (see fault.go).
-	epoch   int64                // topology epoch, bumped on every fail/restore
-	fail    *updown.Failures     // current dead links and switches
-	dropped map[*flit.Worm]bool  // worm copies already counted in WormsDropped
+	epoch   int64               // topology epoch, bumped on every fail/restore
+	fail    *updown.Failures    // current dead links and switches
+	dropped map[*flit.Worm]bool // worm copies already counted in WormsDropped
 }
 
 // New builds a fabric over the topology.  ud may be nil when broadcast

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fingerprint renders every observable of a run — latency accumulators,
+// adapter and fabric counters, liveness flags, end time — as one string,
+// so replay comparison is byte-exact rather than a spot check of a few
+// fields.
+func fingerprint(r *Results) string {
+	return fmt.Sprintf(
+		"%s\nmc=%+v\nuni=%+v\nall=%+v\nadapter=%+v\nfabric=%+v\nfault=%+v\n"+
+			"gen=%d/%d stalled=%v drained=%v held=%d end=%d\n",
+		r.String(), r.MCLatency, r.UniLatency, r.AllLatency,
+		r.Adapter, r.Fabric, r.Fault,
+		r.GeneratedWorms, r.GeneratedMC, r.Stalled, r.Drained,
+		r.HeldChannels, r.EndTime)
+}
+
+// TestReplayByteCompare runs the same configuration twice and demands
+// byte-identical fingerprints.  This is the regression test for map-order
+// leaks inside a single process: Go re-randomizes iteration order on
+// every range statement, so a run whose outcome passes through an
+// unordered map walk diverges between back-to-back replays.
+func TestReplayByteCompare(t *testing.T) {
+	for _, scheme := range []Scheme{HamiltonianSF, TreeFlood} {
+		cfg := smallConfig(scheme, 0.06)
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa, fb := fingerprint(a), fingerprint(b)
+		if fa != fb {
+			t.Errorf("%s: replay diverged:\n--- first ---\n%s--- second ---\n%s",
+				scheme.Name, fa, fb)
+		}
+	}
+}

@@ -79,9 +79,11 @@ func (f *Failures) Clone() *Failures {
 	if f == nil {
 		return out
 	}
+	//wormlint:ordered set copied into a set; insertion order is invisible
 	for e := range f.Links {
 		out.Links[e] = true
 	}
+	//wormlint:ordered set copied into a set; insertion order is invisible
 	for s := range f.Switches {
 		out.Switches[s] = true
 	}
