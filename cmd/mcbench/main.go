@@ -21,9 +21,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -50,8 +53,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache", "", "memoize completed sweep points in this directory")
 	timeout := fs.Duration("timeout", 0, "per-point wall-clock timeout (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-point completions to stderr")
+	metrics := fs.Bool("metrics", false, "print per-figure sweep execution metrics (points run/cached, per-point time distribution)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *pprofAddr != "" {
+		expvar.NewString("cmd").Set("mcbench")
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(stderr, "mcbench: pprof server: %v\n", err)
+			}
+		}()
 	}
 
 	scale := core.Quick
@@ -69,18 +83,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// One sweep accounting block shared by every figure of this
-	// invocation: points completed and cache hits feed the per-figure
-	// wall-clock report.
-	var points, hits int
+	// invocation: a per-figure tally of points run/cached and per-point
+	// execution times feeds the wall-clock report (and, under -metrics,
+	// the execution-time distribution).
+	tally := sweep.NewTally()
 	opts := core.Options{
 		Workers:  *parallel,
 		CacheDir: *cacheDir,
 		Timeout:  *timeout,
-		OnProgress: func(p sweep.Progress) {
-			points++
-			if p.CacheHit {
-				hits++
-			}
+		OnProgress: tally.Hook(func(p sweep.Progress) {
 			if *progress {
 				state := "ran"
 				if p.CacheHit {
@@ -89,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "  %s %d/%d %s (%s, %v)\n",
 					p.Grid, p.Done, p.Total, p.Key[:12], state, p.Elapsed.Round(time.Millisecond))
 			}
-		},
+		}),
 	}
 
 	failed := false
@@ -97,15 +108,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if failed {
 			return
 		}
-		points, hits = 0, 0
+		*tally = *sweep.NewTally()
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(stderr, "mcbench: %s: %v\n", name, err)
 			failed = true
 			return
 		}
-		fmt.Fprintf(stdout, "  [%s: %d points (%d cached) in %v]\n\n",
-			name, points, hits, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "  [%s: %d points (%d cached) in %v]\n",
+			name, tally.Ran+tally.Cached, tally.Cached, time.Since(start).Round(time.Millisecond))
+		if *metrics {
+			tally.WriteSummary(stdout)
+		}
+		fmt.Fprintln(stdout)
 	}
 
 	ctx := context.Background()

@@ -6,11 +6,22 @@
 //
 //	wormsim -topology torus8x8 -scheme tree -load 0.03 -pmc 0.1 \
 //	        -groups 10 -groupsize 10 -measure 400000
+//
+// Observability:
+//
+//	wormsim -trace out.json -metrics   # Perfetto trace + fabric metrics
+//	wormsim -pprof localhost:6060      # live pprof/expvar while running
+//
+// Open the trace at https://ui.perfetto.dev or chrome://tracing.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 
@@ -19,6 +30,7 @@ import (
 	"wormlan/internal/fault"
 	"wormlan/internal/sim"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 )
 
 // loadConfigFile reads a topology+groups configuration file (the format of
@@ -78,27 +90,57 @@ func pickScheme(name string) (sim.Scheme, error) {
 	return sim.Scheme{}, fmt.Errorf("unknown scheme %q (try hamiltonian, hamiltonian-cut-thru, tree, tree-cut-thru, tree-flood)", name)
 }
 
+// servePprof exposes net/http/pprof and expvar on addr.  It touches expvar
+// so the import registers /debug/vars even when nothing else publishes.
+func servePprof(addr string, stderr io.Writer) {
+	expvar.NewString("cmd").Set("wormsim")
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "wormsim: pprof server: %v\n", err)
+		}
+	}()
+}
+
+// traceRingCap bounds in-memory trace recording: the newest ~4M events are
+// kept, which covers any single figure point at full scale.
+const traceRingCap = 1 << 22
+
 func main() {
-	configPath := flag.String("config", "", "topology+groups configuration file (overrides -topology/-groups)")
-	topoName := flag.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, star:N, line:N, ring:N")
-	schemeName := flag.String("scheme", "tree", "multicast scheme")
-	load := flag.Float64("load", 0.02, "offered load (generated output-link utilization per host)")
-	pmc := flag.Float64("pmc", 0.1, "probability a generated worm is multicast")
-	groups := flag.Int("groups", 10, "number of multicast groups")
-	groupSize := flag.Int("groupsize", 10, "members per group")
-	meanWorm := flag.Int("meanworm", 400, "mean worm length in bytes")
-	warmup := flag.Int64("warmup", 50_000, "warm-up byte-times (discarded)")
-	measure := flag.Int64("measure", 300_000, "measurement window in byte-times")
-	linkDelay := flag.Int64("delay", 0, "inter-switch link delay in byte-times (0 = topology default)")
-	seed := flag.Uint64("seed", 1996, "random seed")
-	ordered := flag.Bool("ordered", false, "total ordering via the lowest-ID serializer")
-	reliable := flag.Bool("reliable", false, "use the full ACK/NACK reservation protocol instead of the paper's plain-forwarding simulation mode")
-	failLinks := flag.Int("fail-links", 0, "kill N random switch-to-switch cables during the run")
-	failSwitches := flag.Int("fail-switches", 0, "crash N random switches during the run")
-	failAt := flag.Int64("fail-at", 0, "fault times are drawn uniformly over [1,T] byte-times (default warmup + measure/2)")
-	failHeal := flag.Int64("fail-heal", 0, "revive each failed element D byte-times after it fails (0 = permanent)")
-	failSeed := flag.Uint64("fail-seed", 0, "fault schedule seed (default: -seed)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	configPath := fs.String("config", "", "topology+groups configuration file (overrides -topology/-groups)")
+	topoName := fs.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, star:N, line:N, ring:N")
+	schemeName := fs.String("scheme", "tree", "multicast scheme")
+	load := fs.Float64("load", 0.02, "offered load (generated output-link utilization per host)")
+	pmc := fs.Float64("pmc", 0.1, "probability a generated worm is multicast")
+	groups := fs.Int("groups", 10, "number of multicast groups")
+	groupSize := fs.Int("groupsize", 10, "members per group")
+	meanWorm := fs.Int("meanworm", 400, "mean worm length in bytes")
+	warmup := fs.Int64("warmup", 50_000, "warm-up byte-times (discarded)")
+	measure := fs.Int64("measure", 300_000, "measurement window in byte-times")
+	linkDelay := fs.Int64("delay", 0, "inter-switch link delay in byte-times (0 = topology default)")
+	seed := fs.Uint64("seed", 1996, "random seed")
+	ordered := fs.Bool("ordered", false, "total ordering via the lowest-ID serializer")
+	reliable := fs.Bool("reliable", false, "use the full ACK/NACK reservation protocol instead of the paper's plain-forwarding simulation mode")
+	failLinks := fs.Int("fail-links", 0, "kill N random switch-to-switch cables during the run")
+	failSwitches := fs.Int("fail-switches", 0, "crash N random switches during the run")
+	failAt := fs.Int64("fail-at", 0, "fault times are drawn uniformly over [1,T] byte-times (default warmup + measure/2)")
+	failHeal := fs.Int64("fail-heal", 0, "revive each failed element D byte-times after it fails (0 = permanent)")
+	failSeed := fs.Uint64("fail-seed", 0, "fault schedule seed (default: -seed)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event (Perfetto) JSON of the run to this file")
+	metrics := fs.Bool("metrics", false, "collect and print per-channel utilization, crossbar occupancy, and latency histograms")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *pprofAddr != "" {
+		servePprof(*pprofAddr, stderr)
+	}
 
 	var g *topology.Graph
 	var fileGroups map[int][]topology.NodeID
@@ -109,33 +151,37 @@ func main() {
 		g, err = buildTopology(*topoName, *linkDelay)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wormsim: %v\n", err)
+		return 2
 	}
 	scheme, err := pickScheme(*schemeName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wormsim: %v\n", err)
+		return 2
 	}
 	var plan *fault.Plan
 	if *failLinks > 0 || *failSwitches > 0 {
-		fs := *failSeed
-		if fs == 0 {
-			fs = *seed
+		fsd := *failSeed
+		if fsd == 0 {
+			fsd = *seed
 		}
 		window := *failAt
 		if window == 0 {
 			window = *warmup + *measure/2
 		}
 		plan = fault.RandomPlan(g, fault.Options{
-			Seed:        fs,
+			Seed:        fsd,
 			LinkDowns:   *failLinks,
 			SwitchDowns: *failSwitches,
 			Window:      des.Time(window),
 			Heal:        des.Time(*failHeal),
 		})
 	}
-	res, err := sim.Run(sim.Config{
+	var ring *trace.Ring
+	if *tracePath != "" {
+		ring = trace.NewRing(traceRingCap)
+	}
+	cfg := sim.Config{
 		Graph:         g,
 		Scheme:        scheme,
 		TotalOrdering: *ordered,
@@ -145,29 +191,71 @@ func main() {
 		NumGroups:     *groups,
 		GroupSize:     *groupSize,
 		Groups:        fileGroups,
-		Warmup:        *warmup,
-		Measure:       *measure,
+		Warmup:        des.Time(*warmup),
+		Measure:       des.Time(*measure),
 		Seed:          *seed,
 		Adapter:       adapter.Config{PlainForwarding: !*reliable},
 		FaultPlan:     plan,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wormsim: %v\n", err)
-		os.Exit(1)
+		Metrics:       *metrics,
 	}
-	fmt.Println(res)
-	fmt.Printf("multicast latency: mean=%.0f std=%.0f min=%.0f max=%.0f (n=%d)\n",
+	if ring != nil {
+		cfg.Tracer = ring
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "wormsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res)
+	fmt.Fprintf(stdout, "multicast latency: mean=%.0f std=%.0f min=%.0f max=%.0f (n=%d)\n",
 		res.MCLatency.Mean(), res.MCLatency.Std(), res.MCLatency.Min(), res.MCLatency.Max(), res.MCLatency.N())
-	fmt.Printf("unicast latency:   mean=%.0f std=%.0f (n=%d)\n",
+	fmt.Fprintf(stdout, "unicast latency:   mean=%.0f std=%.0f (n=%d)\n",
 		res.UniLatency.Mean(), res.UniLatency.Std(), res.UniLatency.N())
-	fmt.Printf("generated worms:   %d (%d multicast)\n", res.GeneratedWorms, res.GeneratedMC)
-	fmt.Printf("adapter stats:     %+v\n", res.Adapter)
-	fmt.Printf("fabric counters:   %+v\n", res.Fabric)
+	fmt.Fprintf(stdout, "generated worms:   %d (%d multicast)\n", res.GeneratedWorms, res.GeneratedMC)
+	fmt.Fprintf(stdout, "adapter stats:     %+v\n", res.Adapter)
+	fmt.Fprintf(stdout, "fabric counters:   %+v\n", res.Fabric)
 	if plan != nil {
-		fmt.Printf("fault counters:    %+v\n", res.Fault)
+		fmt.Fprintf(stdout, "fault counters:    %+v\n", res.Fault)
+	}
+	if *metrics {
+		fmt.Fprintf(stdout, "kernel:            %d events dispatched, peak queue %d\n",
+			res.EventsDispatched, res.MaxQueueDepth)
+		if h := res.Histograms; h != nil {
+			for _, hist := range []*trace.Histogram{&h.MC, &h.Uni, &h.All, &h.Queue} {
+				fmt.Fprintf(stdout, "%s\n", hist)
+			}
+		}
+		if m := res.Metrics(); m != nil {
+			m.WriteSummary(stdout, 10, int64(res.EndTime))
+		}
+	}
+	if ring != nil {
+		if err := writeTrace(*tracePath, ring); err != nil {
+			fmt.Fprintf(stderr, "wormsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace:             %d events -> %s", ring.Total(), *tracePath)
+		if d := ring.Dropped(); d > 0 {
+			fmt.Fprintf(stdout, " (oldest %d dropped by the %d-event ring)", d, traceRingCap)
+		}
+		fmt.Fprintln(stdout)
 	}
 	if res.Stalled {
-		fmt.Println("WARNING: worms remained frozen in the fabric (deadlock symptom)")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "WARNING: worms remained frozen in the fabric (deadlock symptom)")
+		return 1
 	}
+	return 0
+}
+
+// writeTrace exports the recorded events as Chrome trace-event JSON.
+func writeTrace(path string, ring *trace.Ring) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, ring.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

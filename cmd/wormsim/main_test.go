@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallArgs is a fast point: a 4x4 torus with short windows.
+func smallArgs(extra ...string) []string {
+	return append([]string{
+		"-topology", "torus4x4", "-scheme", "tree-flood",
+		"-load", "0.05", "-groups", "2", "-groupsize", "4",
+		"-warmup", "10000", "-measure", "60000", "-seed", "7",
+	}, extra...)
+}
+
+func TestRunSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(smallArgs(), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"multicast latency", "generated worms", "fabric counters"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-topology", "nosuch"},
+		{"-scheme", "nosuch"},
+		{"-badflag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunTraceAndMetrics is the -trace smoke test: the exported file must
+// be valid Chrome trace-event JSON with events from both the worm and
+// fabric processes, metrics must print, and two identical invocations must
+// produce byte-identical trace files.
+func TestRunTraceAndMetrics(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func(path string) (string, []byte) {
+		var out, errb bytes.Buffer
+		if code := run(smallArgs("-trace", path, "-metrics"), &out, &errb); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, errb.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), data
+	}
+	out, data := runOnce(filepath.Join(dir, "a.json"))
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var spans, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Fatalf("trace has %d spans and %d instants; want both nonzero", spans, instants)
+	}
+	for _, want := range []string{"channels (top", "mc-latency", "event-queue-depth", "trace:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	_, data2 := runOnce(filepath.Join(dir, "b.json"))
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("identical invocations produced different traces (%d vs %d bytes)", len(data), len(data2))
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"wormlan/internal/rng"
 	"wormlan/internal/route"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/updown"
 )
 
@@ -295,6 +296,17 @@ type System struct {
 	nextWorm int64
 	nextXfer int64
 	stats    Stats
+	rec      trace.Recorder
+}
+
+// SetRecorder attaches a trace recorder for protocol-level events
+// (originate, ACK/NACK outcomes, retransmissions).  A nil recorder
+// disables them; every site is behind a nil check.
+func (s *System) SetRecorder(r trace.Recorder) { s.rec = r }
+
+// emit forwards one protocol event, stamped with the current time.
+func (s *System) emit(k trace.Kind, node topology.NodeID, worm, arg int64) {
+	s.rec.Record(trace.Event{At: s.K.Now(), Kind: k, Node: node, Port: -1, Worm: worm, Arg: arg})
 }
 
 // NewSystem creates an adapter on every host of the fabric's topology and
@@ -630,6 +642,9 @@ func (a *Adapter) SendMulticast(groupID, payload int) (*Transfer, error) {
 		Payload: payload, Created: a.sys.K.Now(),
 	}
 	a.sys.stats.MulticastsSent++
+	if a.sys.rec != nil {
+		a.sys.emit(trace.EvOriginate, a.Host, t.ID, int64(payload))
+	}
 	a.originate(t)
 	return t, nil
 }
@@ -785,6 +800,9 @@ func (a *Adapter) onTimeout(key hopKey) {
 		return
 	}
 	a.sys.stats.Retransmits++
+	if a.sys.rec != nil {
+		a.sys.emit(trace.EvRetransmit, a.Host, 0, o.info.Transfer.ID)
+	}
 	a.sys.sendWorm(a.Host, o.dst, o.info.Transfer.Payload, o.info, nil)
 	a.armTimer(key, o)
 }
@@ -820,6 +838,9 @@ func (a *Adapter) onNack(t *Transfer, from topology.NodeID) {
 		o2 := a.outstanding[key]
 		if o2 == nil {
 			return
+		}
+		if a.sys.rec != nil {
+			a.sys.emit(trace.EvRetransmit, a.Host, 0, t.ID)
 		}
 		a.sys.sendWorm(a.Host, o2.dst, t.Payload, o2.info, nil)
 		a.armTimer(key, o2)

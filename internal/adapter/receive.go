@@ -7,6 +7,7 @@ import (
 	"wormlan/internal/flit"
 	"wormlan/internal/network"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 )
 
 // hop is one forwarding decision: send the transfer to dst with the given
@@ -199,6 +200,13 @@ func (a *Adapter) onDataWorm(w *flit.Worm, info *mcInfo, at des.Time) {
 // sendCtrl emits an ACK (nack=false) or NACK control worm back to the
 // sending adapter.
 func (a *Adapter) sendCtrl(dst topology.NodeID, t *Transfer, nack bool) {
+	if a.sys.rec != nil {
+		k := trace.EvAck
+		if nack {
+			k = trace.EvNack
+		}
+		a.sys.emit(k, a.Host, 0, t.ID)
+	}
 	a.sys.sendWorm(a.Host, dst, a.sys.Cfg.CtrlPayload,
 		&ctrlInfo{Transfer: t, Nack: nack, From: a.Host}, nil)
 }

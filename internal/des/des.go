@@ -48,6 +48,15 @@ type Kernel struct {
 	// Trace, if non-nil, receives a line per dispatched event when tracing
 	// is enabled.  It exists for debugging protocol interleavings.
 	Trace func(format string, args ...any)
+
+	// Observe, if non-nil, runs after every dispatched event with the
+	// current time.  Metrics collectors use it to sample kernel state
+	// (queue depth, progress) at deterministic points; the hook must not
+	// schedule events or mutate simulation state.
+	Observe func(now Time)
+
+	dispatched int64
+	maxQueue   int
 }
 
 // NewKernel returns an empty kernel at time zero.
@@ -139,10 +148,17 @@ func (k *Kernel) Run(deadline Time) error {
 			k.now = deadline
 			break
 		}
+		if n := k.queue.Len(); n > k.maxQueue {
+			k.maxQueue = n
+		}
 		e := k.queue.Pop()
 		k.now = t
 		if e.Fire != nil {
 			e.Fire()
+		}
+		k.dispatched++
+		if k.Observe != nil {
+			k.Observe(k.now)
 		}
 	}
 	if !k.halted && deadline > 0 && k.now < deadline && k.queue.Len() == 0 {
@@ -153,3 +169,9 @@ func (k *Kernel) Run(deadline Time) error {
 
 // Pending returns the number of scheduled events (diagnostic).
 func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// Dispatched returns the number of events fired so far.
+func (k *Kernel) Dispatched() int64 { return k.dispatched }
+
+// MaxQueue returns the high-water mark of the event queue.
+func (k *Kernel) MaxQueue() int { return k.maxQueue }

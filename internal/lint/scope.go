@@ -41,6 +41,9 @@ var deterministicScope = []string{
 	"internal/stats",
 	"internal/ipmap",
 	"internal/faulttest",
+	// The observability layer records from inside the simulation tick and
+	// its exported traces are compared byte-for-byte across runs.
+	"internal/trace",
 }
 
 // InScope reports whether the package at path is governed by the

@@ -28,6 +28,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/updown"
 )
 
@@ -54,6 +55,9 @@ func (f *Fabric) dropWorm(w *flit.Worm) {
 	f.dropped[w] = true
 	w.RxAborted = true
 	f.ctr.WormsDropped++
+	if f.rec != nil {
+		f.emit(f.K.Now(), trace.EvDropped, topology.None, -1, w.ID, 0)
+	}
 }
 
 // FailLink kills the full-duplex cable attached to port p of node n: both

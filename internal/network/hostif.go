@@ -6,6 +6,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 )
 
 // hostIf is a host adapter's network interface: it serializes injected
@@ -79,6 +80,9 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 	h.rx.Reset()
 	h.f.ctr.Delivered++
 	h.f.ctr.Fragments += int64(frags - 1)
+	if h.f.rec != nil {
+		h.f.emit(now, trace.EvDelivered, h.node, -1, w.ID, int64(frags))
+	}
 	if h.f.Cfg.OnDeliver != nil {
 		h.f.Cfg.OnDeliver(Delivery{Worm: w, Host: h.node, At: now, Fragments: frags})
 	}
@@ -109,6 +113,9 @@ func (h *hostIf) transmit(now des.Time) {
 			w.Injected = now
 		}
 		h.cur = flit.NewStream(w, w.Header)
+		if h.f.rec != nil {
+			h.f.emit(now, trace.EvInject, h.node, -1, w.ID, int64(len(w.Header)+w.PayloadLen))
+		}
 	}
 	if from := h.cur.W.PaceFrom; from != nil && from.RxAborted {
 		// Cut-through forward of a reception that was aborted: the stream
@@ -119,6 +126,7 @@ func (h *hostIf) transmit(now des.Time) {
 		return
 	}
 	if h.outLink.stopAtSender {
+		h.outLink.stalled++
 		return
 	}
 	if !h.cur.CanSend(h.cur.W.PaceFrom) {

@@ -33,8 +33,10 @@ type dlink struct {
 	// currently visible at the sending end.
 	stopAtSender bool
 
-	// carried counts flits that have crossed this link (utilization).
+	// carried counts flits that have crossed this link (utilization);
+	// stalled counts ticks a bound sender was held by STOP backpressure.
 	carried int64
+	stalled int64
 	// inFlight counts occupied pipeline slots, so the fabric knows the
 	// link still holds data even when no slot is due for delivery.
 	inFlight int

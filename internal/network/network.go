@@ -28,6 +28,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/updown"
 )
 
@@ -111,6 +112,16 @@ type Config struct {
 	// of delivering it.  Adapters use it to release reservations made at
 	// head arrival.  It runs inside the simulation tick.
 	OnDiscard func(w *flit.Worm, host topology.NodeID, at des.Time)
+
+	// Recorder, when non-nil, receives the worm-lifecycle and flow-control
+	// event stream (see internal/trace).  Every instrumentation site is
+	// behind a nil check, so a nil Recorder costs one predictable branch.
+	Recorder trace.Recorder
+
+	// Metrics enables per-switch crossbar-occupancy sampling; per-channel
+	// busy/stall counters are always on (they are one increment on paths
+	// that already count flits).  Snapshot via Fabric.Metrics.
+	Metrics bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -177,6 +188,12 @@ type Fabric struct {
 	epoch   int64               // topology epoch, bumped on every fail/restore
 	fail    *updown.Failures    // current dead links and switches
 	dropped map[*flit.Worm]bool // worm copies already counted in WormsDropped
+
+	// Observability (see observe.go).
+	rec     trace.Recorder // nil when tracing is disabled
+	swBound []int64        // per-node crossbar occupancy integral, nil when metrics off
+	swPeak  []int          // per-node peak bound outputs
+	mticks  int64          // active fabric ticks observed while metrics on
 }
 
 // New builds a fabric over the topology.  ud may be nil when broadcast
@@ -187,6 +204,11 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 	}
 	f := &Fabric{K: k, G: g, Cfg: cfg.withDefaults(), UD: ud,
 		fail: updown.NewFailures(), dropped: make(map[*flit.Worm]bool)}
+	f.rec = f.Cfg.Recorder
+	if f.Cfg.Metrics {
+		f.swBound = make([]int64, len(g.Nodes))
+		f.swPeak = make([]int, len(g.Nodes))
+	}
 	f.sw = make([]*swState, len(g.Nodes))
 	f.hosts = make([]*hostIf, len(g.Nodes))
 
@@ -356,20 +378,41 @@ func (f *Fabric) Tick(now des.Time) bool {
 			fill := in.fill
 			switch {
 			case fill >= f.Cfg.StopMark:
-				in.stopWish = true
+				if !in.stopWish {
+					in.stopWish = true
+					if f.rec != nil {
+						f.emit(now, trace.EvStop, s.node, pi, in.wormID(), int64(fill))
+					}
+				}
 			case fill <= f.Cfg.GoMark:
-				in.stopWish = false
+				if in.stopWish {
+					in.stopWish = false
+					if f.rec != nil {
+						f.emit(now, trace.EvGo, s.node, pi, in.wormID(), int64(fill))
+					}
+				}
 			}
 			in.inLink.ctrl[int(now%int64(in.inLink.delay))] = in.stopWish
 			if fill > 0 || in.mode != pmIdle {
 				f.work = true
 			}
 		}
+		bound := 0
 		for oi := range s.out {
 			if s.out[oi].boundIn >= 0 {
 				f.work = true
+				bound++
 			}
 		}
+		if f.swBound != nil && bound > 0 {
+			f.swBound[s.node] += int64(bound)
+			if bound > f.swPeak[s.node] {
+				f.swPeak[s.node] = bound
+			}
+		}
+	}
+	if f.swBound != nil {
+		f.mticks++
 	}
 	for _, h := range f.hosts {
 		if h == nil {

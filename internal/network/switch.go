@@ -7,6 +7,7 @@ import (
 	"wormlan/internal/flit"
 	"wormlan/internal/route"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 )
 
 // portMode is the routing state of a switch input port.
@@ -62,6 +63,11 @@ type inPort struct {
 
 	mode portMode
 	worm *flit.Worm
+
+	// blocked marks a pmWait input whose EvBlocked has been emitted, so a
+	// blocking episode traces as one Blocked/Resumed pair, not one event
+	// per retried tick.
+	blocked bool
 
 	// Multicast header collection parser state.
 	mcBuf       []byte
@@ -184,6 +190,9 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 				s.node, in.idx, fl.W.ID, fl.Kind))
 		}
 		in.worm = fl.W
+		if s.f.rec != nil {
+			s.f.emit(now, trace.EvHeadAtSwitch, s.node, in.idx, fl.W.ID, 0)
+		}
 		switch fl.W.Mode {
 		case flit.Unicast:
 			b := in.pop()
@@ -372,6 +381,7 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 		if len(in.reqOuts) == 0 {
 			s.f.dropWorm(in.worm)
 			in.mode = pmDrop
+			in.blocked = false
 			s.drainDrop(in)
 			return
 		}
@@ -394,7 +404,19 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 		}
 	}
 	if !free {
+		if !in.blocked {
+			in.blocked = true
+			if s.f.rec != nil {
+				s.f.emit(now, trace.EvBlocked, s.node, in.idx, in.worm.ID, int64(len(in.reqOuts)))
+			}
+		}
 		return
+	}
+	if in.blocked {
+		in.blocked = false
+		if s.f.rec != nil {
+			s.f.emit(now, trace.EvResumed, s.node, in.idx, in.worm.ID, int64(len(in.reqOuts)))
+		}
 	}
 	for i, oi := range in.reqOuts {
 		s.out[oi].bind(in.idx, in.reqStamps[i])
@@ -412,9 +434,13 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 func (s *swState) flush(in *inPort, now des.Time) {
 	w := in.worm
 	in.mode = pmFlush
+	in.blocked = false
 	in.reqOuts = nil
 	in.reqStamps = nil
 	s.f.ctr.Flushed++
+	if s.f.rec != nil {
+		s.f.emit(now, trace.EvFlushed, s.node, in.idx, w.ID, 0)
+	}
 	if s.f.Cfg.OnFlush != nil {
 		s.f.Cfg.OnFlush(w, now)
 	}
@@ -438,7 +464,11 @@ func (s *swState) transmit(now des.Time) {
 		switch in.mode {
 		case pmBoundUni:
 			o := &s.out[in.outs[0]]
-			if o.link.stopAtSender || in.fill == 0 {
+			if o.link.stopAtSender {
+				o.link.stalled++
+				continue
+			}
+			if in.fill == 0 {
 				continue
 			}
 			fl := in.pop()
@@ -446,6 +476,9 @@ func (s *swState) transmit(now des.Time) {
 			s.f.moved = true
 			s.f.ctr.FlitsCarried++
 			if fl.Kind == flit.Tail {
+				if s.f.rec != nil {
+					s.f.emit(now, trace.EvTailDrained, s.node, in.idx, fl.W.ID, 1)
+				}
 				o.unbind()
 				in.mode = pmIdle
 				in.worm = nil
@@ -467,7 +500,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			continue
 		}
 		anyPrefix = true
-		if !o.link.stopAtSender {
+		if o.link.stopAtSender {
+			o.link.stalled++
+		} else {
 			b := o.prefix[o.prefixPos]
 			o.prefixPos++
 			o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Header, B: b})
@@ -481,13 +516,14 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 	if anyPrefix {
 		return
 	}
-	// Stage 2: is any streaming branch backpressured?
+	// Stage 2: is any streaming branch backpressured?  Every stalled
+	// branch counts toward its link's stall time, so no early break.
 	anyStopped := false
 	for _, oi := range in.outs {
 		o := &s.out[oi]
 		if o.phase == opPayload && o.link.stopAtSender {
 			anyStopped = true
-			break
+			o.link.stalled++
 		}
 	}
 	if anyStopped {
@@ -504,6 +540,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 					s.f.ctr.FlitsCarried++
 					s.f.ctr.Fragments++
 					o.phase = opInterrupted
+					if s.f.rec != nil {
+						s.f.emit(now, trace.EvInterrupt, s.node, oi, in.worm.ID, 0)
+					}
 				}
 			}
 		default:
@@ -513,6 +552,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 				o := &s.out[oi]
 				if o.phase == opPayload && !o.link.stopAtSender {
 					o.idleTicks++
+					if o.idleTicks == s.f.Cfg.IdleFlagTicks && s.f.rec != nil {
+						s.f.emit(now, trace.EvMCIdle, s.node, oi, in.worm.ID, int64(o.idleTicks))
+					}
 				}
 			}
 		}
@@ -533,6 +575,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 				o.phase = opPrefix
 				resumed = true
 			}
+			if s.f.rec != nil {
+				s.f.emit(now, trace.EvResume, s.node, oi, in.worm.ID, 0)
+			}
 		}
 	}
 	if resumed {
@@ -551,6 +596,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 	}
 	s.f.moved = true
 	if fl.Kind == flit.Tail {
+		if s.f.rec != nil {
+			s.f.emit(now, trace.EvTailDrained, s.node, in.idx, fl.W.ID, int64(len(in.outs)))
+		}
 		for _, oi := range in.outs {
 			s.out[oi].unbind()
 		}

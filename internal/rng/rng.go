@@ -8,7 +8,10 @@
 // (PCG-XSL-RR 128/64 is overkill; we use splitmix-style expansion).
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a deterministic pseudo-random source.  It implements the subset
 // of math/rand's API that the simulator needs, plus the traffic
@@ -70,6 +73,25 @@ func (s *Source) Intn(n int) int {
 		l := uint32(m)
 		if l >= bound || l >= -bound%bound {
 			return int(m >> 32)
+		}
+	}
+}
+
+// Int63n returns a uniform int64 in [0, n).  It panics if n <= 0.  Use
+// this for bounds that exceed 32 bits (e.g. reservoir-sampling draws over
+// an unbounded stream count, which would overflow an int conversion on
+// 32-bit platforms).
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded draw, 64-bit.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := bits.Mul64(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int64(hi)
 		}
 	}
 }

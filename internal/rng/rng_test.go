@@ -89,6 +89,51 @@ func TestIntnPanics(t *testing.T) {
 	New(1, 1).Intn(0)
 }
 
+func TestInt63nBounds(t *testing.T) {
+	s := New(7, 7)
+	for n := int64(1); n < 40; n++ {
+		seen := make([]bool, n)
+		for i := int64(0); i < 200*n; i++ {
+			v := s.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+			seen[v] = true
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("Int63n(%d) never produced %d", n, v)
+			}
+		}
+	}
+	// Bounds far past 32 bits stay in range — the motivating case for the
+	// 64-bit draw (reservoir sampling over long streams).
+	big := int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63n(big); v < 0 || v >= big {
+			t.Fatalf("Int63n(2^40) = %d out of range", v)
+		}
+	}
+}
+
+func TestInt63nDeterministic(t *testing.T) {
+	a, b := New(11, 3), New(11, 3)
+	for i := 0; i < 100; i++ {
+		if va, vb := a.Int63n(1e12), b.Int63n(1e12); va != vb {
+			t.Fatalf("draw %d diverged: %d vs %d", i, va, vb)
+		}
+	}
+}
+
+func TestInt63nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	New(1, 1).Int63n(0)
+}
+
 func TestPermIsPermutation(t *testing.T) {
 	s := New(6, 6)
 	if err := quick.Check(func(nRaw uint8) bool {

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"wormlan/internal/adapter"
@@ -16,9 +17,16 @@ import (
 	"wormlan/internal/stats"
 	"wormlan/internal/switchmc"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/traffic"
 	"wormlan/internal/updown"
 )
+
+// forceTrace force-enables tracing (into a bounded ring) and metrics for
+// every run when the WORMTRACE environment variable is non-empty.  CI sets
+// it to run the whole tier-1 suite down the instrumented path; it must not
+// change any result, which the replay tests verify.
+var forceTrace = os.Getenv("WORMTRACE") != ""
 
 // Scheme is a named multicast protocol configuration from the paper's
 // evaluation.
@@ -87,6 +95,16 @@ type Config struct {
 	// Network overrides the fabric defaults.
 	Network network.Config
 
+	// Tracer, when non-nil, receives the run's worm-lifecycle and protocol
+	// event stream (see internal/trace).  Tracing observes; it never
+	// changes results: a traced run's measurements are identical to an
+	// untraced one's.  Excluded from serialized configurations.
+	Tracer trace.Recorder `json:"-"`
+	// Metrics enables per-switch crossbar occupancy sampling and latency
+	// histograms, surfaced via Results.Channels / Results.Switches /
+	// Results.Histograms.
+	Metrics bool
+
 	// FaultPlan, when non-nil, is a failure schedule injected against the
 	// fabric during the run.  Topology changes trigger mapper re-runs and
 	// route recomputation over the survivors (see internal/fault).  Only
@@ -123,6 +141,21 @@ type Results struct {
 	Fabric  network.Counters
 	// Fault aggregates injector activity when Config.FaultPlan is set.
 	Fault fault.Counters
+
+	// Channels / Switches are the fabric's per-link utilization and
+	// per-switch crossbar occupancy metrics; Histograms are the latency
+	// distributions over the measurement window.  All nil/empty unless
+	// Config.Metrics was set.
+	Channels   []trace.ChannelStat `json:",omitempty"`
+	Switches   []trace.SwitchStat  `json:",omitempty"`
+	Histograms *trace.LatencyHists `json:",omitempty"`
+	// FabricTicks is the active-tick denominator for Switches occupancy.
+	FabricTicks int64 `json:",omitempty"`
+
+	// EventsDispatched / MaxQueueDepth are kernel-level run statistics
+	// (always collected; they cost nothing).
+	EventsDispatched int64
+	MaxQueueDepth    int
 
 	// Stalled is set when worms remained frozen in the fabric at the end
 	// of the run — the observable symptom of a deadlock.
@@ -166,12 +199,36 @@ func Run(cfg Config) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	fab, err := network.New(k, cfg.Graph, ud, cfg.Network)
+	// Observability: an explicit Tracer/Metrics request wins; otherwise the
+	// WORMTRACE environment toggle forces both on, recording into a bounded
+	// ring so arbitrarily long runs stay safe.
+	tracer := cfg.Tracer
+	metricsOn := cfg.Metrics
+	if forceTrace {
+		if tracer == nil {
+			tracer = trace.NewRing(1 << 16)
+		}
+		metricsOn = true
+	}
+	ncfg := cfg.Network
+	if ncfg.Recorder == nil {
+		ncfg.Recorder = tracer
+	}
+	ncfg.Metrics = ncfg.Metrics || metricsOn
+	fab, err := network.New(k, cfg.Graph, ud, ncfg)
 	if err != nil {
 		return nil, err
 	}
 	hosts := cfg.Graph.Hosts()
 	res := &Results{Config: cfg}
+	var hists *trace.LatencyHists
+	if metricsOn {
+		hists = trace.NewLatencyHists()
+		res.Histograms = hists
+		k.Observe = func(des.Time) {
+			hists.Queue.Add(float64(k.Pending()))
+		}
+	}
 	windowStart := cfg.Warmup
 	windowEnd := cfg.Warmup + cfg.Measure
 	var windowBytes int64
@@ -181,6 +238,10 @@ func Run(cfg Config) (*Results, error) {
 			res.MCLatency.Add(lat)
 			res.AllLatency.Add(lat)
 			res.MCDeliveries++
+			if hists != nil {
+				hists.MC.Add(lat)
+				hists.All.Add(lat)
+			}
 		}
 		if now >= windowStart && now < windowEnd {
 			windowBytes += int64(payload)
@@ -192,6 +253,10 @@ func Run(cfg Config) (*Results, error) {
 			res.UniLatency.Add(lat)
 			res.AllLatency.Add(lat)
 			res.UniDeliveries++
+			if hists != nil {
+				hists.Uni.Add(lat)
+				hists.All.Add(lat)
+			}
 		}
 		if now >= windowStart && now < windowEnd {
 			windowBytes += int64(payload)
@@ -236,6 +301,7 @@ func Run(cfg Config) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
+		swsys.SetRecorder(tracer)
 		for _, gd := range groupDefs {
 			grp, err := multicast.NewGroup(gd.id, gd.set)
 			if err != nil {
@@ -262,6 +328,7 @@ func Run(cfg Config) (*Results, error) {
 		if err != nil {
 			return nil, err
 		}
+		sys.SetRecorder(tracer)
 		for _, gd := range groupDefs {
 			grp, err := multicast.NewGroup(gd.id, gd.set)
 			if err != nil {
@@ -321,7 +388,24 @@ func Run(cfg Config) (*Results, error) {
 	res.Drained = k.Pending() == 0
 	res.HeldChannels = len(fab.HeldChannels())
 	res.EndTime = k.Now()
+	res.EventsDispatched = k.Dispatched()
+	res.MaxQueueDepth = k.MaxQueue()
+	if metricsOn {
+		m := fab.Metrics()
+		res.Channels = m.Channels
+		res.Switches = m.Switches
+		res.FabricTicks = m.Ticks
+	}
 	return res, nil
+}
+
+// Metrics reassembles the fabric metrics snapshot (nil unless the run was
+// configured with Metrics).
+func (r *Results) Metrics() *trace.Metrics {
+	if r.Channels == nil && r.Switches == nil {
+		return nil
+	}
+	return &trace.Metrics{Channels: r.Channels, Switches: r.Switches, Ticks: r.FabricTicks}
 }
 
 // String summarizes a result row (one line per load point, the shape of

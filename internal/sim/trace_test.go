@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"wormlan/internal/trace"
+)
+
+// TestTracedRunMatchesUntraced pins the observer contract: attaching a
+// recorder and enabling metrics must not perturb a single measurement.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	for _, scheme := range []Scheme{HamiltonianSF, TreeFlood, SwitchFabric} {
+		plain, err := Run(smallConfig(scheme, 0.06))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig(scheme, 0.06)
+		cfg.Tracer = trace.NewRing(1 << 20)
+		cfg.Metrics = true
+		traced, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp, ft := fingerprint(plain), fingerprint(traced); fp != ft {
+			t.Errorf("%s: tracing changed results:\n--- untraced ---\n%s--- traced ---\n%s",
+				scheme.Name, fp, ft)
+		}
+	}
+}
+
+// TestTraceReplayByteIdentical runs the same traced configuration twice and
+// demands byte-identical Chrome trace exports — the end-to-end determinism
+// guarantee for the whole recording path, not just the synthetic streams
+// covered in package trace.
+func TestTraceReplayByteIdentical(t *testing.T) {
+	export := func() []byte {
+		cfg := smallConfig(TreeFlood, 0.06)
+		ring := trace.NewRing(1 << 20)
+		cfg.Tracer = ring
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if ring.Total() == 0 {
+			t.Fatal("traced run recorded no events")
+		}
+		if ring.Dropped() != 0 {
+			t.Fatalf("ring dropped %d events; grow the test capacity", ring.Dropped())
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, ring.Events()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace exports diverged between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestMetricsSurface checks that a metrics-enabled run fills the Results
+// metrics fields coherently.
+func TestMetricsSurface(t *testing.T) {
+	cfg := smallConfig(TreeFlood, 0.06)
+	cfg.Metrics = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Channels) == 0 || len(r.Switches) == 0 || r.FabricTicks == 0 {
+		t.Fatalf("metrics surface empty: %d channels, %d switches, %d ticks",
+			len(r.Channels), len(r.Switches), r.FabricTicks)
+	}
+	var busy int64
+	for _, c := range r.Channels {
+		busy += c.Busy
+	}
+	if busy == 0 {
+		t.Fatal("no channel ever carried a flit")
+	}
+	h := r.Histograms
+	if h == nil {
+		t.Fatal("nil histograms")
+	}
+	if h.MC.Count != r.MCDeliveries || h.Uni.Count != r.UniDeliveries {
+		t.Fatalf("histogram counts (%d, %d) disagree with deliveries (%d, %d)",
+			h.MC.Count, h.Uni.Count, r.MCDeliveries, r.UniDeliveries)
+	}
+	if m := r.Metrics(); m == nil || m.Ticks != r.FabricTicks {
+		t.Fatalf("Metrics() reassembly broken: %+v", m)
+	}
+	if m := new(Results).Metrics(); m != nil {
+		t.Fatal("Metrics() on a metrics-less run should be nil")
+	}
+}

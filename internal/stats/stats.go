@@ -37,32 +37,45 @@ func (w *Welford) Add(x float64) {
 // N returns the observation count.
 func (w *Welford) N() int64 { return w.n }
 
-// Mean returns the sample mean (0 with no samples).
-func (w *Welford) Mean() float64 { return w.mean }
+// Valid reports whether any observation has been recorded — i.e. whether
+// Mean/Min/Max are meaningful.  Var and Std additionally need n >= 2.
+func (w *Welford) Valid() bool { return w.n > 0 }
 
-// Var returns the unbiased sample variance.
+// Mean returns the sample mean, NaN with no samples.  An empty window must
+// not masquerade as a true zero: figure code that averages an empty window
+// now fails loudly (NaN propagates, and refuses to marshal as JSON)
+// instead of plotting a spurious zero-latency point.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Var returns the unbiased sample variance, NaN for fewer than two
+// samples (the estimator is undefined there, not zero).
 func (w *Welford) Var() float64 {
 	if w.n < 2 {
-		return 0
+		return math.NaN()
 	}
 	return w.m2 / float64(w.n-1)
 }
 
-// Std returns the sample standard deviation.
+// Std returns the sample standard deviation (NaN for n < 2).
 func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
 
-// Min and Max return the extrema (0 with no samples).
+// Min and Max return the extrema (NaN with no samples).
 func (w *Welford) Min() float64 {
 	if !w.hasExtrema {
-		return 0
+		return math.NaN()
 	}
 	return w.min
 }
 
-// Max returns the largest observation.
+// Max returns the largest observation (NaN with no samples).
 func (w *Welford) Max() float64 {
 	if !w.hasExtrema {
-		return 0
+		return math.NaN()
 	}
 	return w.max
 }
@@ -89,34 +102,45 @@ func NewReservoir(capacity int, seed uint64) *Reservoir {
 	return &Reservoir{cap: capacity, r: rng.New(seed, 0x5A)}
 }
 
-// Add records one observation.
+// Add records one observation.  The replacement draw is 64-bit: on 32-bit
+// platforms an int conversion of seen would overflow past 2^31 samples and
+// panic (or bias) the draw.
 func (rv *Reservoir) Add(x float64) {
 	rv.seen++
 	if len(rv.sample) < rv.cap {
 		rv.sample = append(rv.sample, x)
 		return
 	}
-	if j := rv.r.Intn(int(rv.seen)); j < rv.cap {
-		rv.sample[j] = x
+	if j := rv.r.Int63n(rv.seen); j < int64(rv.cap) {
+		rv.sample[int(j)] = x
 	}
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of the sampled stream, or
-// 0 when empty.
+// Quantile returns the q-quantile (0 <= q <= 1) of the sampled stream by
+// linear interpolation between order statistics (the "R-7" definition), or
+// NaN when empty.  q=0 and q=1 return the exact extremes.  The former
+// truncating nearest-rank index biased upper quantiles low: on 100 samples
+// of 0..99, p99 reported 98 instead of 98.01, and p50 reported 49 instead
+// of 49.5.
 func (rv *Reservoir) Quantile(q float64) float64 {
 	if len(rv.sample) == 0 {
-		return 0
+		return math.NaN()
 	}
 	s := append([]float64(nil), rv.sample...)
 	sort.Float64s(s)
-	idx := int(q * float64(len(s)-1))
-	if idx < 0 {
-		idx = 0
+	if q <= 0 {
+		return s[0]
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if q >= 1 {
+		return s[len(s)-1]
 	}
-	return s[idx]
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
 }
 
 // N returns how many observations were offered.
@@ -128,7 +152,11 @@ type Rate struct {
 	start, stop int64
 }
 
-// NewRate returns a rate counter over [start, stop] (byte-times).
+// NewRate returns a rate counter over the half-open window [start, stop)
+// in byte-times — the same convention as sim.Run's latency recorders, so
+// an event landing exactly at the window end is excluded by both.  (The
+// window used to be closed here and half-open there, silently counting
+// boundary events in throughput but not in latency.)
 func NewRate(start, stop int64) *Rate {
 	if stop <= start {
 		panic("stats: empty rate window")
@@ -136,9 +164,9 @@ func NewRate(start, stop int64) *Rate {
 	return &Rate{start: start, stop: stop}
 }
 
-// Add accumulates amount if t falls inside the window.
+// Add accumulates amount if t falls inside [start, stop).
 func (r *Rate) Add(t int64, amount float64) {
-	if t >= r.start && t <= r.stop {
+	if t >= r.start && t < r.stop {
 		r.total += amount
 	}
 }

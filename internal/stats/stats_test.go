@@ -33,8 +33,25 @@ func TestWelfordKnownValues(t *testing.T) {
 
 func TestWelfordEmpty(t *testing.T) {
 	var w Welford
-	if w.Mean() != 0 || w.Var() != 0 || w.Min() != 0 || w.Max() != 0 {
-		t.Fatal("empty collector not zero")
+	if w.Valid() {
+		t.Fatal("empty collector claims validity")
+	}
+	// An empty window is not a true zero: every moment must be NaN so
+	// averaging an empty window fails loudly instead of plotting zero.
+	for name, v := range map[string]float64{
+		"Mean": w.Mean(), "Var": w.Var(), "Std": w.Std(),
+		"Min": w.Min(), "Max": w.Max(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %v, want NaN", name, v)
+		}
+	}
+	w.Add(3)
+	if !w.Valid() || w.Mean() != 3 || w.Min() != 3 || w.Max() != 3 {
+		t.Fatalf("single sample: valid=%v mean=%v", w.Valid(), w.Mean())
+	}
+	if !math.IsNaN(w.Var()) {
+		t.Fatalf("Var of one sample = %v, want NaN", w.Var())
 	}
 }
 
@@ -95,10 +112,27 @@ func TestReservoirLargeStreamApproximatesQuantiles(t *testing.T) {
 	}
 }
 
+// TestReservoirGoldenQuantiles feeds 0..99 into a reservoir large enough
+// to keep everything: interpolated quantiles are then exact.  The old
+// truncating nearest-rank index reported p50=49 and p99=98.
+func TestReservoirGoldenQuantiles(t *testing.T) {
+	rv := NewReservoir(200, 1)
+	for i := 0; i < 100; i++ {
+		rv.Add(float64(i))
+	}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 0}, {0.25, 24.75}, {0.5, 49.5}, {0.9, 89.1}, {0.99, 98.01}, {1, 99},
+	} {
+		if got := rv.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
 func TestReservoirEmptyAndBadCapacity(t *testing.T) {
 	rv := NewReservoir(4, 1)
-	if rv.Quantile(0.5) != 0 {
-		t.Fatal("empty reservoir quantile")
+	if !math.IsNaN(rv.Quantile(0.5)) {
+		t.Fatal("empty reservoir quantile should be NaN")
 	}
 	defer func() {
 		if recover() == nil {
@@ -108,18 +142,42 @@ func TestReservoirEmptyAndBadCapacity(t *testing.T) {
 	NewReservoir(0, 1)
 }
 
+// TestRateWindow pins the half-open [start, stop) convention shared with
+// sim.Run's latency recorders: the start boundary counts, the stop
+// boundary does not.
 func TestRateWindow(t *testing.T) {
+	cases := []struct {
+		name string
+		t    int64
+		in   bool
+	}{
+		{"start-1", 99, false},
+		{"start", 100, true},
+		{"mid", 150, true},
+		{"stop-1", 199, true},
+		{"stop", 200, false},
+		{"stop+1", 201, false},
+	}
+	for _, c := range cases {
+		r := NewRate(100, 200)
+		r.Add(c.t, 5)
+		want := 0.0
+		if c.in {
+			want = 5
+		}
+		if r.Total() != want {
+			t.Errorf("%s: Add(%d) -> Total %v, want %v", c.name, c.t, r.Total(), want)
+		}
+	}
 	r := NewRate(100, 200)
-	r.Add(50, 10)  // before window
-	r.Add(100, 5)  // boundary in
-	r.Add(150, 5)  // in
-	r.Add(200, 5)  // boundary in
-	r.Add(201, 99) // after
+	for _, c := range cases {
+		r.Add(c.t, 5)
+	}
 	if r.Total() != 15 {
-		t.Fatalf("Total = %v", r.Total())
+		t.Fatalf("Total = %v, want 15", r.Total())
 	}
 	if r.PerTime() != 0.15 {
-		t.Fatalf("PerTime = %v", r.PerTime())
+		t.Fatalf("PerTime = %v, want 0.15", r.PerTime())
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"wormlan/internal/network"
 	"wormlan/internal/route"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/updown"
 )
 
@@ -65,7 +66,12 @@ type System struct {
 	// rootPrefix caches each host's unicast route to the up/down root.
 	rootPrefix map[topology.NodeID][]topology.PortID
 	nextID     int64
+	rec        trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder for originate events; nil
+// disables them.
+func (s *System) SetRecorder(r trace.Recorder) { s.rec = r }
 
 // New builds the system over an existing fabric.  It takes ownership of
 // the fabric's OnDeliver callback.
@@ -152,6 +158,10 @@ func (s *System) SendMulticast(src topology.NodeID, group, payload int) error {
 		return fmt.Errorf("switchmc: host %d not in group %d", src, group)
 	}
 	s.nextID++
+	if s.rec != nil {
+		s.rec.Record(trace.Event{At: s.K.Now(), Kind: trace.EvOriginate,
+			Node: src, Port: -1, Worm: s.nextID, Arg: int64(payload)})
+	}
 	return s.F.Inject(src, &flit.Worm{
 		ID: s.nextID, Src: src, Dst: topology.None, Mode: flit.MulticastTree,
 		Group: group, Header: hdr, PayloadLen: payload,
@@ -182,6 +192,10 @@ func (s *System) SendBroadcast(src topology.NodeID, payload int) error {
 		return err
 	}
 	s.nextID++
+	if s.rec != nil {
+		s.rec.Record(trace.Event{At: s.K.Now(), Kind: trace.EvOriginate,
+			Node: src, Port: -1, Worm: s.nextID, Arg: int64(payload)})
+	}
 	return s.F.Inject(src, &flit.Worm{
 		ID: s.nextID, Src: src, Dst: topology.None, Mode: flit.Broadcast,
 		Group: -1, Header: hdr, PayloadLen: payload,

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+
+	"wormlan/internal/topology"
+)
+
+// HistBins is the number of log-spaced histogram bins.  Bin 0 holds values
+// below 1; bin i (i >= 1) holds values in [2^(i-1), 2^i).  63 doubling
+// bins cover every representable des.Time latency.
+const HistBins = 64
+
+// Histogram is a fixed log2-spaced histogram.  Unlike a quantile-only
+// reservoir it is mergeable, has O(1) deterministic memory, and reports
+// any quantile after the fact with bounded (factor-of-two bin) resolution
+// refined by linear interpolation within the bin.
+type Histogram struct {
+	Name  string
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Bins  [HistBins]int64
+}
+
+// binOf returns the bin index for v.
+func binOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	u := uint64(v)
+	b := bits.Len64(u) // v in [2^(b-1), 2^b)
+	if b >= HistBins {
+		return HistBins - 1
+	}
+	return b
+}
+
+// binRange returns the [lo, hi) value range of bin i.
+func binRange(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}
+
+// Add records one observation.  Negative values clamp into bin 0.
+func (h *Histogram) Add(v float64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.Bins[binOf(v)]++
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.Count == 0 {
+		return
+	}
+	if h.Count == 0 || other.Min < h.Min {
+		h.Min = other.Min
+	}
+	if h.Count == 0 || other.Max > h.Max {
+		h.Max = other.Max
+	}
+	h.Count += other.Count
+	h.Sum += other.Sum
+	for i := range h.Bins {
+		h.Bins[i] += other.Bins[i]
+	}
+}
+
+// Mean returns the sample mean, NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the bin
+// holding the rank and interpolating linearly inside it, clamped to the
+// observed [Min, Max].  Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q >= 1 {
+		return h.Max
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Bins {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc >= rank {
+			lo, hi := binRange(i)
+			v := lo + (hi-lo)*(rank-cum)/fc
+			if v < h.Min {
+				v = h.Min
+			}
+			if v > h.Max {
+				v = h.Max
+			}
+			return v
+		}
+		cum += fc
+	}
+	return h.Max
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return fmt.Sprintf("%s: n=0", h.Name)
+	}
+	return fmt.Sprintf("%s: n=%d mean=%.1f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
+		h.Name, h.Count, h.Mean(), h.Min,
+		h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max)
+}
+
+// LatencyHists groups the distribution measurements of one run: multicast,
+// unicast, and combined end-to-end latency over the measurement window,
+// plus the kernel event-queue depth sampled after every dispatched event.
+type LatencyHists struct {
+	MC    Histogram
+	Uni   Histogram
+	All   Histogram
+	Queue Histogram
+}
+
+// NewLatencyHists returns named empty histograms.
+func NewLatencyHists() *LatencyHists {
+	return &LatencyHists{
+		MC:    Histogram{Name: "mc-latency"},
+		Uni:   Histogram{Name: "uni-latency"},
+		All:   Histogram{Name: "all-latency"},
+		Queue: Histogram{Name: "event-queue-depth"},
+	}
+}
+
+// ChannelStat is the per-directional-link utilization and stall record.
+type ChannelStat struct {
+	Src     topology.NodeID
+	SrcPort topology.PortID
+	Dst     topology.NodeID
+	DstPort topology.PortID
+	// Busy counts ticks a flit crossed the link's sending end.
+	Busy int64
+	// Stalled counts ticks a bound sender wanted to transmit into this
+	// link but was held by STOP backpressure.
+	Stalled int64
+}
+
+// Utilization returns Busy as a fraction of the given tick span.
+func (c ChannelStat) Utilization(span int64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(c.Busy) / float64(span)
+}
+
+// SwitchStat is the per-switch crossbar occupancy record.
+type SwitchStat struct {
+	Node topology.NodeID
+	// BoundTicks is the time integral of bound output ports: the sum over
+	// observed ticks of the number of outputs bound to a worm.
+	BoundTicks int64
+	// PeakBound is the largest number of simultaneously bound outputs.
+	PeakBound int
+}
+
+// MeanOccupancy returns the average number of bound crossbar outputs over
+// the given tick span.
+func (s SwitchStat) MeanOccupancy(span int64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(s.BoundTicks) / float64(span)
+}
+
+// Metrics is a snapshot of fabric-level metrics over one run.
+type Metrics struct {
+	// Channels is indexed in the fabric's deterministic link construction
+	// order; Switches in node-ID order (hosts omitted).
+	Channels []ChannelStat
+	Switches []SwitchStat
+	// Ticks is the number of byte-times the fabric was active (the
+	// denominator for occupancy; links may also be normalized by the run's
+	// EndTime for whole-run utilization).
+	Ticks int64
+}
+
+// WriteSummary prints the busiest channels and switches, most-utilized
+// first (ties broken by construction order, so output is deterministic).
+func (m *Metrics) WriteSummary(w io.Writer, topN int, span int64) {
+	if topN <= 0 {
+		topN = 10
+	}
+	idx := make([]int, len(m.Channels))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort by Busy descending, stable on construction order:
+	// len(channels) is small (a few hundred) and stability matters more
+	// than asymptotics here.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && m.Channels[idx[j]].Busy > m.Channels[idx[j-1]].Busy; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	fmt.Fprintf(w, "channels (top %d of %d by flits carried, span=%d):\n", topN, len(m.Channels), span)
+	for i := 0; i < topN && i < len(idx); i++ {
+		c := m.Channels[idx[i]]
+		fmt.Fprintf(w, "  %3d.%d -> %3d.%d  busy=%8d (%.3f)  stalled=%8d\n",
+			c.Src, c.SrcPort, c.Dst, c.DstPort, c.Busy, c.Utilization(span), c.Stalled)
+	}
+	fmt.Fprintf(w, "switches (crossbar occupancy over %d active ticks):\n", m.Ticks)
+	for _, s := range m.Switches {
+		fmt.Fprintf(w, "  switch %3d  mean-bound=%.3f peak=%d\n",
+			s.Node, s.MeanOccupancy(m.Ticks), s.PeakBound)
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+// Ring is an in-memory recorder with a bounded buffer: it keeps the most
+// recent capacity events and counts everything it was offered.  A bounded
+// buffer makes force-enabled tracing safe on arbitrarily long runs (CI
+// runs the whole suite with tracing on) while still capturing the full
+// stream on the short runs a human actually inspects.
+type Ring struct {
+	buf   []Event
+	head  int // index of the oldest buffered event
+	fill  int
+	total int64
+}
+
+// NewRing returns a ring recorder holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record buffers the event, evicting the oldest when full.
+func (r *Ring) Record(e Event) {
+	if r.fill < len(r.buf) {
+		r.buf[(r.head+r.fill)%len(r.buf)] = e
+		r.fill++
+	} else {
+		r.buf[r.head] = e
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+// Events returns the buffered events in record order (oldest first).
+func (r *Ring) Events() []Event {
+	out := make([]Event, r.fill)
+	for i := 0; i < r.fill; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns how many events were offered, including evicted ones.
+func (r *Ring) Total() int64 { return r.total }
+
+// Dropped returns how many events were evicted by the bound.
+func (r *Ring) Dropped() int64 { return r.total - int64(r.fill) }

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wormlan/internal/des"
+)
+
+func TestKindString(t *testing.T) {
+	if EvHeadAtSwitch.String() != "head-at-switch" {
+		t.Fatalf("EvHeadAtSwitch = %q", EvHeadAtSwitch.String())
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestRingUnderfill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: des.Time(i), Worm: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(evs), r.Total(), r.Dropped())
+	}
+	for i, e := range evs {
+		if e.At != des.Time(i) {
+			t.Fatalf("evs[%d].At = %d", i, e.At)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Record(Event{At: des.Time(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 || r.Total() != 11 || r.Dropped() != 7 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(evs), r.Total(), r.Dropped())
+	}
+	for i, e := range evs {
+		if want := des.Time(7 + i); e.At != want {
+			t.Fatalf("evs[%d].At = %d, want %d", i, e.At, want)
+		}
+	}
+}
+
+func TestRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestHistogramBins(t *testing.T) {
+	cases := []struct {
+		v   float64
+		bin int
+	}{
+		{-3, 0}, {0, 0}, {0.9, 0}, {1, 1}, {1.9, 1}, {2, 2}, {3, 2},
+		{4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := binOf(c.v); got != c.bin {
+			t.Errorf("binOf(%v) = %d, want %d", c.v, got, c.bin)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram should report NaN")
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count != 100 || h.Min != 0 || h.Max != 99 {
+		t.Fatalf("count=%d min=%v max=%v", h.Count, h.Min, h.Max)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := h.Quantile(1); got != 99 {
+		t.Errorf("q1 = %v", got)
+	}
+	// Log-binned estimates carry factor-of-two bin resolution; check the
+	// estimate lands in the right neighbourhood rather than exactly.
+	if got := h.Quantile(0.5); got < 32 || got > 64 {
+		t.Errorf("p50 = %v, want within [32,64]", got)
+	}
+	if got := h.Quantile(0.99); got < 64 || got > 99 {
+		t.Errorf("p99 = %v, want within [64,99]", got)
+	}
+	if got := h.Mean(); got != 49.5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Add(float64(i))
+	}
+	for i := 50; i < 100; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(&b)
+	var whole Histogram
+	for i := 0; i < 100; i++ {
+		whole.Add(float64(i))
+	}
+	if a.Count != whole.Count || a.Sum != whole.Sum || a.Min != whole.Min || a.Max != whole.Max || a.Bins != whole.Bins {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, whole)
+	}
+}
+
+func synthetic() []Event {
+	return []Event{
+		{At: 0, Kind: EvOriginate, Node: 4, Port: -1, Worm: 1, Arg: 1000},
+		{At: 5, Kind: EvInject, Node: 4, Port: -1, Worm: 7, Arg: 1019},
+		{At: 9, Kind: EvHeadAtSwitch, Node: 0, Port: 2, Worm: 7},
+		{At: 9, Kind: EvBlocked, Node: 0, Port: 2, Worm: 7},
+		{At: 40, Kind: EvResumed, Node: 0, Port: 2, Worm: 7},
+		{At: 60, Kind: EvStop, Node: 1, Port: 0, Arg: 18},
+		{At: 90, Kind: EvGo, Node: 1, Port: 0, Arg: 4},
+		{At: 1100, Kind: EvTailDrained, Node: 0, Port: 2, Worm: 7},
+		{At: 1120, Kind: EvDelivered, Node: 6, Port: -1, Worm: 7, Arg: 1},
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, synthetic()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, synthetic()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same stream differ")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`"ph":"X"`, `"name":"worm 7"`, `"ts":5`, `"dur":1115`,
+		`"name":"stop"`, `"name":"delivered"`, `"pid":2`, `"displayTimeUnit"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
+	}
+	// A worm seen only mid-flight (no EvInject, e.g. evicted from a ring)
+	// must not produce a span.
+	var c bytes.Buffer
+	if err := WriteChrome(&c, []Event{{At: 3, Kind: EvBlocked, Worm: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.String(), `"ph":"X"`) {
+		t.Error("span emitted for un-injected worm")
+	}
+}
