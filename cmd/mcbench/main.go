@@ -31,7 +31,10 @@ import (
 	"time"
 
 	"wormlan/internal/core"
+	"wormlan/internal/des"
+	"wormlan/internal/faulttest"
 	"wormlan/internal/sweep"
+	"wormlan/internal/trace"
 )
 
 func main() {
@@ -40,12 +43,15 @@ func main() {
 
 var validFigs = map[string]bool{
 	"10": true, "11": true, "12": true, "13": true, "ablations": true, "all": true,
+	// storms is opt-in (not part of "all"): the chaos matrix with the
+	// selected failure-detection mode in the recovery loop.
+	"storms": true,
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all")
+	fig := fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all, storms")
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1996, "random seed")
 	perPoint := fs.Duration("perpoint", 0, "wall-clock time per emulation point (figs 12/13)")
@@ -54,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "per-point wall-clock timeout (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-point completions to stderr")
 	metrics := fs.Bool("metrics", false, "print per-figure sweep execution metrics (points run/cached, per-point time distribution)")
+	detect := fs.String("detect", "oracle", "storm failure detection: oracle or hello (in-band liveness; -fig storms)")
+	helloInterval := fs.Int64("hello-interval", 0, "hello transmission period in byte-times for -detect hello (0 = liveness default)")
+	detectMult := fs.Int("detect-mult", 0, "consecutive missed hellos before a peer-down verdict (0 = liveness default)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -153,6 +162,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return nil
 		})
 	}
+	if *fig == "storms" {
+		start := time.Now()
+		if err := runStorms(ctx, stdout, *detect, *helloInterval, *detectMult, *seed, *parallel, *metrics); err != nil {
+			fmt.Fprintf(stderr, "mcbench: storms: %v\n", err)
+			failed = true
+		} else {
+			fmt.Fprintf(stdout, "  [storms in %v]\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
 	if want("ablations") {
 		runFig("ablations", func() error {
 			bc, err := core.AblationBufferClassesWith(ctx, *seed, opts)
@@ -192,4 +210,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runStorms executes the chaos storm matrix with the selected detection
+// mode and prints one summary row per storm.  Under hello detection the
+// per-storm liveness statistics follow each row, and -metrics adds the
+// matrix-wide detection-latency histograms (merged across storms).
+func runStorms(ctx context.Context, stdout io.Writer, detect string, helloInterval int64, detectMult int, seed uint64, parallel int, metrics bool) error {
+	var specs []faulttest.StormSpec
+	switch detect {
+	case "", "oracle":
+		specs = faulttest.DefaultStormMatrix()
+	case "hello":
+		specs = faulttest.DetectionStormMatrix()
+		for i := range specs {
+			specs[i].HelloInterval = des.Time(helloInterval)
+			specs[i].DetectMult = detectMult
+		}
+	default:
+		return fmt.Errorf("unknown detection mode %q (want oracle or hello)", detect)
+	}
+	outcomes, err := sweep.Run(ctx, &sweep.Engine{Workers: parallel}, faulttest.StormGrid(specs, seed))
+	if err != nil {
+		return err
+	}
+	var d2r, f2d trace.Histogram
+	for i, o := range outcomes {
+		fmt.Fprintf(stdout, "%-24s injected=%d delivered=%d dropped=%d remaps=%d uni=%d mc=%d\n",
+			specs[i].Name, o.Fabric.Injected, o.Fabric.Delivered, o.Fabric.WormsDropped,
+			o.Inject.Remaps, o.Uni, o.McSum)
+		if detect == "hello" {
+			l := o.Detection.Liveness
+			fmt.Fprintf(stdout, "%-24s downs=%d ups=%d falsePos=%d flaps=%d suppressed=%d detectionRemaps=%d\n",
+				"", l.PeerDowns, l.PeerUps, l.FalsePositives, l.Flaps, l.FlapsSuppressed, o.Detection.Remaps)
+			d2r.Merge(&o.Detection.DetectToReroute)
+			f2d.Merge(&o.Detection.FaultToDetect)
+		}
+	}
+	if detect == "hello" && metrics {
+		d2r.Name, f2d.Name = "detect-to-reroute", "fault-to-detect"
+		fmt.Fprintf(stdout, "%s\n%s\n", &d2r, &f2d)
+	}
+	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
+	"wormlan/internal/liveness"
 	"wormlan/internal/sim"
 	"wormlan/internal/topology"
 	"wormlan/internal/trace"
@@ -131,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failAt := fs.Int64("fail-at", 0, "fault times are drawn uniformly over [1,T] byte-times (default warmup + measure/2)")
 	failHeal := fs.Int64("fail-heal", 0, "revive each failed element D byte-times after it fails (0 = permanent)")
 	failSeed := fs.Uint64("fail-seed", 0, "fault schedule seed (default: -seed)")
+	detect := fs.String("detect", "oracle", "failure detection: oracle (injector triggers recovery) or hello (in-band liveness protocol)")
+	helloInterval := fs.Int64("hello-interval", 0, "hello transmission period in byte-times (0 = liveness default)")
+	detectMult := fs.Int("detect-mult", 0, "consecutive missed hellos before a peer-down verdict (0 = liveness default)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event (Perfetto) JSON of the run to this file")
 	metrics := fs.Bool("metrics", false, "collect and print per-channel utilization, crossbar occupancy, and latency histograms")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -177,6 +181,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Heal:        des.Time(*failHeal),
 		})
 	}
+	mode, err := fault.ParseDetectMode(*detect)
+	if err != nil {
+		fmt.Fprintf(stderr, "wormsim: %v\n", err)
+		return 2
+	}
 	var ring *trace.Ring
 	if *tracePath != "" {
 		ring = trace.NewRing(traceRingCap)
@@ -196,7 +205,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:          *seed,
 		Adapter:       adapter.Config{PlainForwarding: !*reliable},
 		FaultPlan:     plan,
+		Detect:        mode,
 		Metrics:       *metrics,
+	}
+	if mode == fault.DetectHello && (*helloInterval > 0 || *detectMult > 0) {
+		cfg.Liveness = &liveness.Config{
+			Interval:   des.Time(*helloInterval),
+			DetectMult: *detectMult,
+		}
 	}
 	if ring != nil {
 		cfg.Tracer = ring
@@ -216,6 +232,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "fabric counters:   %+v\n", res.Fabric)
 	if plan != nil {
 		fmt.Fprintf(stdout, "fault counters:    %+v\n", res.Fault)
+	}
+	if d := res.Detection; d != nil {
+		fmt.Fprintf(stdout, "detection:         %+v\n", d.Liveness)
+		fmt.Fprintf(stdout, "detection remaps:  %d\n", d.Remaps)
+		if *metrics {
+			fmt.Fprintf(stdout, "%s\n", &d.DetectToReroute)
+			fmt.Fprintf(stdout, "%s\n", &d.FaultToDetect)
+		}
 	}
 	if *metrics {
 		fmt.Fprintf(stdout, "kernel:            %d events dispatched, peak queue %d\n",

@@ -236,17 +236,22 @@ type AppDelivery struct {
 
 // Stats aggregates protocol-level counters across the system.
 type Stats struct {
-	MulticastsSent  int64 // transfers originated
-	UnicastsSent    int64
-	Deliveries      int64 // local copies delivered (multicast)
-	Nacks           int64 // worms dropped for lack of buffers
-	Retransmits     int64 // data worm retransmissions (NACK or timeout)
-	Duplicates      int64 // duplicate copies suppressed by dedupe
-	GiveUps         int64 // hops abandoned after MaxRetries
-	Confirmations   int64 // return-to-sender laps completed
-	DMASpillBytes   int64 // bytes overflowed to host DMA extensions
-	CutThroughFwds  int64 // forwards begun at head arrival
-	StoreForwardFwd int64 // forwards begun after full reception
+	MulticastsSent int64 // transfers originated
+	UnicastsSent   int64
+	Deliveries     int64 // local copies delivered (multicast)
+	Nacks          int64 // worms dropped for lack of buffers
+	Retransmits    int64 // data worm retransmissions (NACK or timeout)
+	// TimeoutRetransmits is the subset of Retransmits triggered by the ACK
+	// timer rather than a NACK: the no-feedback loss path (a worm
+	// black-holed by a dead link produces neither ACK nor NACK, so only
+	// the timer notices).
+	TimeoutRetransmits int64
+	Duplicates         int64 // duplicate copies suppressed by dedupe
+	GiveUps            int64 // hops abandoned after MaxRetries
+	Confirmations      int64 // return-to-sender laps completed
+	DMASpillBytes      int64 // bytes overflowed to host DMA extensions
+	CutThroughFwds     int64 // forwards begun at head arrival
+	StoreForwardFwd    int64 // forwards begun after full reception
 
 	// Failure-recovery counters.
 	RouteLost    int64 // sends abandoned because no surviving route exists
@@ -777,6 +782,13 @@ func (a *Adapter) transmit(info *mcInfo, dst topology.NodeID, pace *flit.Worm) {
 	a.armTimer(key, o)
 }
 
+// armTimer arms the per-hop retry timer: exponential backoff on the fixed
+// part (doubling with each retry, capped), an adaptive 8x-wire-size share,
+// and deterministic seeded jitter so synchronized losses don't retry in
+// lockstep.  This timer is the only recovery for losses that produce no
+// NACK — a worm black-holed by a dead link vanishes without feedback, so
+// the hop retries on timeout until the detector reroutes around the
+// failure or MaxRetries converts it into a counted give-up.
 func (a *Adapter) armTimer(key hopKey, o *outstanding) {
 	if o.timer != nil {
 		a.sys.K.Cancel(o.timer)
@@ -784,6 +796,10 @@ func (a *Adapter) armTimer(key hopKey, o *outstanding) {
 	wire := des.Time(o.info.Transfer.Payload + 16)
 	backoff := a.sys.Cfg.AckTimeoutBase << uint(min(o.retries, 3))
 	timeout := backoff + 8*wire + des.Time(a.sys.r.Intn(int(a.sys.Cfg.AckTimeoutBase/8)+1))
+	if a.sys.rec != nil {
+		a.sys.rec.Record(trace.Event{At: a.sys.K.Now(), Kind: trace.EvRetransmitBackoff,
+			Node: a.Host, Port: 0, Worm: o.info.Transfer.ID, Arg: int64(timeout)})
+	}
 	o.timer = a.sys.K.After(timeout, func() { a.onTimeout(key) })
 }
 
@@ -800,6 +816,7 @@ func (a *Adapter) onTimeout(key hopKey) {
 		return
 	}
 	a.sys.stats.Retransmits++
+	a.sys.stats.TimeoutRetransmits++
 	if a.sys.rec != nil {
 		a.sys.emit(trace.EvRetransmit, a.Host, 0, o.info.Transfer.ID)
 	}
@@ -834,6 +851,10 @@ func (a *Adapter) onNack(t *Transfer, from topology.NodeID) {
 	}
 	base := a.sys.Cfg.NackBackoff << uint(min(o.retries, 4))
 	delay := base/2 + des.Time(a.sys.r.Intn(int(base)))
+	if a.sys.rec != nil {
+		a.sys.rec.Record(trace.Event{At: a.sys.K.Now(), Kind: trace.EvRetransmitBackoff,
+			Node: a.Host, Port: 1, Worm: t.ID, Arg: int64(delay)})
+	}
 	o.timer = a.sys.K.After(delay, func() {
 		o2 := a.outstanding[key]
 		if o2 == nil {

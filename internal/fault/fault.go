@@ -16,10 +16,12 @@ import (
 	"sort"
 
 	"wormlan/internal/des"
+	"wormlan/internal/liveness"
 	"wormlan/internal/mapper"
 	"wormlan/internal/network"
 	"wormlan/internal/rng"
 	"wormlan/internal/topology"
+	"wormlan/internal/trace"
 	"wormlan/internal/updown"
 )
 
@@ -216,15 +218,44 @@ type Counters struct {
 	RemapFailures int64
 }
 
+// DefaultRemapDelay is the oracle mode's modelled recovery latency: the
+// time between a topology change and the completion of the mapper daemon's
+// re-map, covering detection, mapper convergence, and route-table
+// distribution in one lump.  512 byte-times is 6.4 µs at 640 Mb/s —
+// optimistic for a real daemon, but the paper treats detection as free and
+// this constant is exactly the knob DetectHello replaces with a measured
+// quantity.  Surfaced through sim.Config.RemapDelay.
+const DefaultRemapDelay des.Time = 512
+
 // InjectorConfig parameterizes recovery behaviour.
 type InjectorConfig struct {
-	// RemapDelay is the time between a topology change and the completion
-	// of the mapper daemon's re-map (detection + convergence + table
-	// distribution).  Default 512 byte-times.
+	// RemapDelay is the oracle mode's detection-plus-convergence latency
+	// (default DefaultRemapDelay).  Unused in hello mode, where detection
+	// latency is a protocol outcome and only ConvergeDelay is modelled.
 	RemapDelay des.Time
 	// OnRemap receives each recomputed routing and route table; the
 	// adapter layer installs them (see adapter.System.Reroute).
 	OnRemap func(ud *updown.Routing, tbl *updown.Table)
+
+	// Mode selects how topology changes are noticed: DetectOracle (the
+	// default: the injector itself triggers recovery, as the paper's
+	// mapper-daemon setting assumes) or DetectHello (the in-band liveness
+	// protocol of internal/liveness discovers them).
+	Mode DetectMode
+	// Hello parameterizes the liveness protocol in hello mode; zero fields
+	// take the liveness package defaults.
+	Hello liveness.Config
+	// HelloUntil bounds the hello protocol's horizon (required in hello
+	// mode): hellos stop after this time so the fabric can drain for the
+	// quiescence invariants.
+	HelloUntil des.Time
+	// ConvergeDelay is the verdict-to-reroute latency in hello mode: once
+	// the detector speaks, the mapper re-run and table distribution still
+	// take time (default DefaultConvergeDelay).
+	ConvergeDelay des.Time
+	// Recorder, when non-nil, receives the liveness event stream
+	// (hello-missed, peer-down, peer-up, flap-suppressed).
+	Recorder trace.Recorder
 }
 
 // Injector replays a Plan against a fabric on its kernel and performs
@@ -236,20 +267,32 @@ type Injector struct {
 
 	ctr          Counters
 	remapPending bool
+
+	// det holds the hello-mode detection state; nil in oracle mode.
+	det *detState
 }
 
-// NewInjector schedules every event of the plan on the kernel and returns
-// the injector.  Call before running the kernel.
-func NewInjector(k *des.Kernel, f *network.Fabric, plan *Plan, cfg InjectorConfig) *Injector {
+// NewInjector validates the plan, schedules every event on the kernel, and
+// returns the injector.  Call before running the kernel.  In hello mode it
+// also builds the liveness monitor and starts the fabric's hello engine.
+func NewInjector(k *des.Kernel, f *network.Fabric, plan *Plan, cfg InjectorConfig) (*Injector, error) {
 	if cfg.RemapDelay <= 0 {
-		cfg.RemapDelay = 512
+		cfg.RemapDelay = DefaultRemapDelay
+	}
+	if err := plan.Validate(f.G); err != nil {
+		return nil, err
 	}
 	inj := &Injector{K: k, F: f, Cfg: cfg}
+	if cfg.Mode == DetectHello {
+		if err := inj.setupHello(); err != nil {
+			return nil, err
+		}
+	}
 	for _, e := range plan.Events {
 		ev := e
 		k.At(ev.At, func() { inj.apply(ev) })
 	}
-	return inj
+	return inj, nil
 }
 
 // Counters returns a snapshot of injector activity.
@@ -260,22 +303,22 @@ func (inj *Injector) apply(e Event) {
 	case LinkDown:
 		if err := inj.F.FailLink(e.Node, e.Port); err == nil {
 			inj.ctr.LinkDowns++
-			inj.scheduleRemap()
+			inj.topoChanged(e)
 		}
 	case LinkUp:
 		if err := inj.F.RestoreLink(e.Node, e.Port); err == nil {
 			inj.ctr.LinkUps++
-			inj.scheduleRemap()
+			inj.topoChanged(e)
 		}
 	case SwitchDown:
 		if err := inj.F.FailSwitch(e.Node); err == nil {
 			inj.ctr.SwitchDowns++
-			inj.scheduleRemap()
+			inj.topoChanged(e)
 		}
 	case SwitchUp:
 		if err := inj.F.RestoreSwitch(e.Node); err == nil {
 			inj.ctr.SwitchUps++
-			inj.scheduleRemap()
+			inj.topoChanged(e)
 		}
 	case CorruptFlit:
 		if inj.F.CorruptOnLink(int(e.Node)) {
@@ -288,6 +331,18 @@ func (inj *Injector) apply(e Event) {
 			inj.ctr.Stalls++
 		}
 	}
+}
+
+// topoChanged reacts to a successfully applied topology event.  The oracle
+// mode schedules recovery directly — the injector *is* the detector.  In
+// hello mode recovery is the liveness protocol's job: the injector only
+// records ground truth so detection latency can be measured.
+func (inj *Injector) topoChanged(e Event) {
+	if inj.det != nil {
+		inj.det.trackTruth(inj, e)
+		return
+	}
+	inj.scheduleRemap()
 }
 
 // scheduleRemap coalesces topology changes: one re-map fires RemapDelay

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// Validate rejects malformed plans before anything is scheduled, instead
+// of the silent per-event no-op the injector's apply path would produce:
+//
+//   - events scheduled at time <= 0 (the fabric starts at t=0; a fault
+//     "before the beginning" is a plan bug, not a scenario),
+//   - out-of-range or wrong-kind Node/Port targets,
+//   - LinkUp/SwitchUp events with no matching earlier Down — reviving
+//     something that was never killed,
+//   - negative HostStall durations.
+//
+// Repeated Downs of the same target without an intervening Up are allowed
+// (RandomPlan draws targets with replacement and the injector treats the
+// duplicate as a no-op); an Up is valid as long as Downs of its target
+// outnumber earlier Ups.  Events are checked in the order the kernel will
+// fire them: by time, ties in plan order.
+func (p *Plan) Validate(g *topology.Graph) error {
+	if p == nil {
+		return nil
+	}
+	order := make([]int, len(p.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Events[order[a]].At < p.Events[order[b]].At
+	})
+
+	// Down-minus-Up balance per cable (keyed by the directed edge as
+	// written; the injector applies events by that same key) and per
+	// switch.
+	linkDowns := map[updown.Edge]int{}
+	switchDowns := map[topology.NodeID]int{}
+
+	for _, i := range order {
+		e := p.Events[i]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault: plan event %d (%s at t=%d): %s",
+				i, e.Kind, e.At, fmt.Sprintf(format, args...))
+		}
+		if e.At <= 0 {
+			return fail("scheduled at or before time 0")
+		}
+		if e.Node < 0 || int(e.Node) >= len(g.Nodes) {
+			if e.Kind == CorruptFlit {
+				// Node is a scan hint for corruption events, not a target.
+				continue
+			}
+			return fail("node %d out of range [0, %d)", e.Node, len(g.Nodes))
+		}
+		node := g.Node(e.Node)
+		switch e.Kind {
+		case LinkDown, LinkUp:
+			if e.Port < 0 || int(e.Port) >= len(node.Ports) {
+				return fail("port %d out of range [0, %d) on node %d", e.Port, len(node.Ports), e.Node)
+			}
+			if !node.Ports[e.Port].Wired() {
+				return fail("port %d of node %d is not wired", e.Port, e.Node)
+			}
+			edge := updown.Edge{Node: e.Node, Port: e.Port}
+			if e.Kind == LinkDown {
+				linkDowns[edge]++
+			} else if linkDowns[edge] <= 0 {
+				return fail("LinkUp without a prior LinkDown of port %d on node %d", e.Port, e.Node)
+			} else {
+				linkDowns[edge]--
+			}
+		case SwitchDown, SwitchUp:
+			if node.Kind != topology.Switch {
+				return fail("node %d is not a switch", e.Node)
+			}
+			if e.Kind == SwitchDown {
+				switchDowns[e.Node]++
+			} else if switchDowns[e.Node] <= 0 {
+				return fail("SwitchUp without a prior SwitchDown of switch %d", e.Node)
+			} else {
+				switchDowns[e.Node]--
+			}
+		case HostStall:
+			if node.Kind != topology.Host {
+				return fail("node %d is not a host", e.Node)
+			}
+			if e.Dur < 0 {
+				return fail("negative stall duration %d", e.Dur)
+			}
+		case CorruptFlit:
+			// Node is a deterministic scan hint; any value is meaningful.
+		default:
+			return fail("unknown event kind %d", uint8(e.Kind))
+		}
+	}
+	return nil
+}

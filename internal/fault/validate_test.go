@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+// pickCable returns one wired switch-to-switch (node, port) pair.
+func pickCable(t *testing.T, g *topology.Graph) (topology.NodeID, topology.PortID) {
+	t.Helper()
+	for _, sw := range g.Switches() {
+		for pi, p := range g.Node(sw).Ports {
+			if p.Wired() && g.Node(p.Peer).Kind == topology.Switch {
+				return sw, topology.PortID(pi)
+			}
+		}
+	}
+	t.Fatal("no switch-switch cable in graph")
+	return 0, 0
+}
+
+func TestValidateAcceptsRandomPlans(t *testing.T) {
+	g := topology.Torus(4, 4, 1, 1)
+	for _, o := range []Options{
+		{Seed: 99, LinkDowns: 3, SwitchDowns: 2, Corruptions: 2, Stalls: 2},
+		{Seed: 7, LinkDowns: 4, SwitchDowns: 1, Corruptions: 3, Stalls: 1, Heal: 500},
+	} {
+		if err := RandomPlan(g, o).Validate(g); err != nil {
+			t.Fatalf("random plan %+v failed validation: %v", o, err)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(g); err != nil {
+		t.Fatalf("nil plan: %v", err)
+	}
+}
+
+func TestValidateChecksKernelFireOrder(t *testing.T) {
+	// The Up precedes the Down in plan order but follows it in time; the
+	// kernel fires by time, so the plan is well-formed.
+	g := topology.Torus(4, 4, 1, 1)
+	sw, port := pickCable(t, g)
+	p := (&Plan{}).LinkUp(100, sw, port).LinkDown(50, sw, port)
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("time-ordered up after down rejected: %v", err)
+	}
+	// Same events at the same time: ties fire in plan order, so the Up now
+	// really does precede the Down.
+	p = (&Plan{}).LinkUp(50, sw, port).LinkDown(50, sw, port)
+	if err := p.Validate(g); err == nil {
+		t.Fatal("tied up-before-down accepted")
+	}
+}
+
+func TestValidateAllowsRepeatedDowns(t *testing.T) {
+	g := topology.Torus(4, 4, 1, 1)
+	sw, port := pickCable(t, g)
+	p := (&Plan{}).LinkDown(10, sw, port).LinkDown(20, sw, port).LinkUp(30, sw, port).LinkUp(40, sw, port)
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("balanced repeated downs rejected: %v", err)
+	}
+	p.LinkUp(50, sw, port)
+	if err := p.Validate(g); err == nil {
+		t.Fatal("third LinkUp against two LinkDowns accepted")
+	}
+}
+
+func TestValidateRejectsMalformedPlans(t *testing.T) {
+	g := topology.Torus(4, 4, 1, 1)
+	sw, port := pickCable(t, g)
+	host := g.Hosts()[0]
+	cases := []struct {
+		name string
+		plan *Plan
+		want string
+	}{
+		{"time zero", (&Plan{}).LinkDown(0, sw, port), "at or before time 0"},
+		{"negative time", (&Plan{}).SwitchDown(-5, sw), "at or before time 0"},
+		{"node out of range", (&Plan{}).SwitchDown(10, topology.NodeID(len(g.Nodes))), "out of range"},
+		{"negative node", (&Plan{}).LinkDown(10, -1, 0), "out of range"},
+		{"port out of range", (&Plan{}).LinkDown(10, sw, topology.PortID(len(g.Node(sw).Ports))), "port"},
+		{"orphan link up", (&Plan{}).LinkUp(10, sw, port), "LinkUp without a prior LinkDown"},
+		{"orphan switch up", (&Plan{}).SwitchUp(10, sw), "SwitchUp without a prior SwitchDown"},
+		{"switch event on host", (&Plan{}).SwitchDown(10, host), "not a switch"},
+		{"stall on switch", (&Plan{}).Stall(10, sw, 100), "not a host"},
+		{"negative stall", (&Plan{}).Stall(10, host, -1), "negative stall duration"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(g)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateIgnoresCorruptionHints(t *testing.T) {
+	// CorruptFlit's Node is a scan hint, not a target: any value is valid.
+	g := topology.Torus(4, 4, 1, 1)
+	p := (&Plan{}).Corrupt(10, 1<<20)
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("corruption hint rejected: %v", err)
+	}
+}

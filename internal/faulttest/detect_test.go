@@ -1,0 +1,124 @@
+package faulttest
+
+import (
+	"testing"
+
+	"wormlan/internal/fault"
+)
+
+// detectStormSpec is the reference hello-mode chaos scenario: the torus
+// storm from the default matrix with in-band detection in the recovery
+// loop.
+func detectStormSpec() StormSpec {
+	return StormSpec{
+		Name: "torus-storm-hello",
+		Topo: "torus8x8",
+		Faults: fault.Options{
+			Seed: 42, LinkDowns: 3, SwitchDowns: 1, Corruptions: 4, Stalls: 2,
+			Window: 30_000,
+		},
+		Detect: "hello",
+	}
+}
+
+// TestDetectionStormDeterministic runs the reference hello storm twice and
+// requires byte-identical outcomes: the detector, the hello wire engine,
+// and the detection-driven recovery pipeline must all be deterministic.
+func TestDetectionStormDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detection storm in -short mode")
+	}
+	o1, err := RunStorm(detectStormSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := RunStorm(detectStormSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatalf("detection storm not deterministic:\nrun1: %+v\nrun2: %+v", o1, o2)
+	}
+	d := o1.Detection
+	if d.Liveness.PeerDowns == 0 || d.Remaps == 0 || d.DetectToReroute.Count == 0 {
+		t.Fatalf("detection never drove recovery: %+v", d)
+	}
+	if d.FaultToDetect.Count == 0 {
+		t.Fatalf("no true failure was detected: %+v", d)
+	}
+}
+
+// TestDetectionStormMatrix runs the published detection matrix (the torus
+// subset under -short, so the -race CI job stays fast) and checks every
+// storm survives with detection in the loop.
+func TestDetectionStormMatrix(t *testing.T) {
+	specs := DetectionStormMatrix()
+	if testing.Short() {
+		torus := specs[:0]
+		for _, s := range specs {
+			if s.Topo == "torus8x8" {
+				torus = append(torus, s)
+			}
+		}
+		specs = torus
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			o, err := RunStorm(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.Detection.Liveness.PeerDowns == 0 {
+				t.Fatalf("no down verdicts: %+v", o.Detection)
+			}
+		})
+	}
+}
+
+// TestCongestionFalsePositivesPinned pins the congestion-confusion rate of
+// the default detector: a fault-free fabric under heavy load starves
+// hellos until links are declared dead.  Every down verdict here is a
+// false positive by construction.  The exact counts are part of the
+// protocol's measured behaviour — a change in flap damping, hello
+// scheduling, or STOP/GO interaction moves them and must be reviewed, not
+// absorbed.
+func TestCongestionFalsePositivesPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("congestion pin in -short mode")
+	}
+	// Load 0.05 is above the hello-starvation threshold for this fabric but
+	// below the regime where repeated mid-flight remaps wedge the torus.
+	spec := StormSpec{
+		Name:        "torus-congestion-only",
+		Topo:        "torus8x8",
+		Faults:      fault.Options{Seed: 13, Window: 10_000},
+		OfferedLoad: 0.05,
+		Detect:      "hello",
+	}
+	o, err := RunStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := o.Detection
+	if o.Inject.LinkDowns != 0 || o.Inject.SwitchDowns != 0 {
+		t.Fatalf("congestion-only run injected faults: %+v", o.Inject)
+	}
+	// No fault ever happens, so every down verdict is a false positive and
+	// no true detection latency is recorded.
+	if d.Liveness.PeerDowns != d.Liveness.FalsePositives {
+		t.Fatalf("down verdicts %d != false positives %d in fault-free run",
+			d.Liveness.PeerDowns, d.Liveness.FalsePositives)
+	}
+	if d.FaultToDetect.Count != 0 {
+		t.Fatalf("true-failure detections in a fault-free run: %+v", d.FaultToDetect)
+	}
+	const (
+		wantFalsePositives = 391
+		wantFlaps          = 130
+	)
+	if d.Liveness.FalsePositives != wantFalsePositives || d.Liveness.Flaps != wantFlaps {
+		t.Fatalf("congestion false-positive pin moved: got fp=%d flaps=%d, want fp=%d flaps=%d\nfull stats: %+v",
+			d.Liveness.FalsePositives, d.Liveness.Flaps, wantFalsePositives, wantFlaps, d.Liveness)
+	}
+}

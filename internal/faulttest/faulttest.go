@@ -87,7 +87,10 @@ func NewBench(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fau
 			b.Sys.Reroute(tbl, ud.Reachable)
 		}
 	}
-	b.Inj = fault.NewInjector(b.K, b.F, plan, icfg)
+	b.Inj, err = fault.NewInjector(b.K, b.F, plan, icfg)
+	if err != nil {
+		return nil, err
+	}
 	return b, nil
 }
 
@@ -238,10 +241,13 @@ type Outcome struct {
 	Fabric  network.Counters
 	Adapter adapter.Stats
 	Inject  fault.Counters
-	Epoch   int64
-	Uni     int64
-	McCount int
-	McSum   int
+	// Detection is the hello mode's summary (zero value under the oracle).
+	// Histograms are fixed arrays, so the whole struct stays comparable.
+	Detection fault.DetectionStats
+	Epoch     int64
+	Uni       int64
+	McCount   int
+	McSum     int
 }
 
 // Outcome snapshots the run's observable state.
@@ -253,6 +259,9 @@ func (b *Bench) Outcome() Outcome {
 		Epoch:   b.F.TopologyEpoch(),
 		Uni:     b.UniDelivered,
 		McCount: len(b.McDelivered),
+	}
+	if d := b.Inj.Detection(); d != nil {
+		o.Detection = *d
 	}
 	//wormlint:ordered integer sum over all values; addition is commutative
 	for _, c := range b.McDelivered {

@@ -7,6 +7,7 @@ import (
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
+	"wormlan/internal/liveness"
 	"wormlan/internal/sweep"
 	"wormlan/internal/topology"
 	"wormlan/internal/traffic"
@@ -29,6 +30,17 @@ type StormSpec struct {
 	MulticastProb float64 `json:"mcProb,omitempty"`
 	MeanWorm      int     `json:"meanWorm,omitempty"`
 	TrafficSeed   uint64  `json:"trafficSeed,omitempty"`
+
+	// Detect selects the detection mode: "" or "oracle" (default), or
+	// "hello" to run the storm with the in-band liveness protocol in the
+	// recovery loop.  All fields below are omitempty so pre-existing
+	// oracle specs keep their serialized form — and therefore their
+	// sweep-derived seeds — bit-identical.
+	Detect string `json:"detect,omitempty"`
+	// HelloInterval / DetectMult override the liveness defaults in hello
+	// mode (zero keeps the package defaults).
+	HelloInterval des.Time `json:"helloInterval,omitempty"`
+	DetectMult    int      `json:"detectMult,omitempty"`
 }
 
 // BuildTopo constructs the fabric a spec names.
@@ -80,7 +92,23 @@ func RunStorm(spec StormSpec) (Outcome, error) {
 		spec.TrafficSeed = 5
 	}
 	plan := fault.RandomPlan(g, spec.Faults)
-	b, err := NewBench(g, StormAdapterConfig(), plan, fault.InjectorConfig{})
+	mode, err := fault.ParseDetectMode(spec.Detect)
+	if err != nil {
+		return zero, err
+	}
+	icfg := fault.InjectorConfig{Mode: mode}
+	if mode == fault.DetectHello {
+		icfg.Hello = liveness.Config{
+			Interval:   spec.HelloInterval,
+			DetectMult: spec.DetectMult,
+			Seed:       spec.Faults.Seed,
+		}
+		// Hellos outlive the fault window and the traffic horizon so late
+		// failures are still detected, then stop well before the drain
+		// deadline so quiescence invariants stay checkable.
+		icfg.HelloUntil = des.Time(spec.Faults.Window) * 4
+	}
+	b, err := NewBench(g, StormAdapterConfig(), plan, icfg)
 	if err != nil {
 		return zero, err
 	}
@@ -127,6 +155,19 @@ func RunStorm(spec StormSpec) (Outcome, error) {
 	if (spec.Faults.LinkDowns > 0 || spec.Faults.SwitchDowns > 0) && ic.Remaps < 1 {
 		return zero, fmt.Errorf("no remap completed: %+v", ic)
 	}
+	if mode == fault.DetectHello && spec.Faults.LinkDowns+spec.Faults.SwitchDowns > 0 {
+		// Detection, not the oracle, must have driven those remaps.
+		d := b.Inj.Detection()
+		if d.Liveness.PeerDowns < 1 {
+			return zero, fmt.Errorf("hello detection issued no down verdicts: %+v", d.Liveness)
+		}
+		if d.Remaps < 1 {
+			return zero, fmt.Errorf("no detection-driven remap completed: %+v", d)
+		}
+		if d.DetectToReroute.Count < 1 {
+			return zero, fmt.Errorf("no detection-to-reroute latency recorded: %+v", d)
+		}
+	}
 	worms, _, _ := gen.Generated()
 	if worms == 0 {
 		return zero, fmt.Errorf("no traffic generated")
@@ -163,6 +204,20 @@ func StormGrid(specs []StormSpec, baseSeed uint64) sweep.Grid[Outcome] {
 		})
 	}
 	return g
+}
+
+// DetectionStormMatrix is the published detection-in-the-loop storm grid:
+// the default matrix re-run with the hello/liveness protocol replacing the
+// oracle, so every recovery is driven by in-band detection.  Verdict
+// counts, false positives, flaps, and detection-to-reroute latency land in
+// each Outcome's Detection field.
+func DetectionStormMatrix() []StormSpec {
+	specs := DefaultStormMatrix()
+	for i := range specs {
+		specs[i].Name += "-hello"
+		specs[i].Detect = "hello"
+	}
+	return specs
 }
 
 // DefaultStormMatrix is the storm matrix exercised by tests and

@@ -32,9 +32,14 @@ const (
 	// it passes.  It models Myrinet's end-of-packet control symbol plus
 	// the recomputed checksum trailer.
 	Tail
+	// Hello is a liveness probe (one control symbol on the wire, W is
+	// nil).  Hellos are consumed at the receiving port — they never enter
+	// slack buffers or reassemblers — and exist only so the liveness
+	// protocol shares links, and therefore congestion, with data worms.
+	Hello
 )
 
-// String returns a single-letter mnemonic (H/P/T).
+// String returns a single-letter mnemonic (H/P/T/L).
 func (k Kind) String() string {
 	switch k {
 	case Header:
@@ -43,6 +48,8 @@ func (k Kind) String() string {
 		return "P"
 	case Tail:
 		return "T"
+	case Hello:
+		return "L"
 	default:
 		return "?"
 	}

@@ -27,6 +27,7 @@ var deterministicScope = []string{
 	"internal/multicast",
 	"internal/sim",
 	"internal/fault",
+	"internal/liveness",
 	"internal/updown",
 	"internal/route",
 	"internal/core",

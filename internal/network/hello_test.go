@@ -1,0 +1,167 @@
+package network
+
+import (
+	"testing"
+
+	"wormlan/internal/des"
+	"wormlan/internal/topology"
+)
+
+// countSink records hello arrivals and ticks.
+type countSink struct {
+	seen  int64
+	ticks int64
+	last  des.Time
+}
+
+func (s *countSink) HelloSeen(topology.NodeID, topology.PortID, des.Time, des.Time) { s.seen++ }
+func (s *countSink) HelloTick(now des.Time)                                         { s.ticks++; s.last = now }
+
+func TestEnableHelloValidation(t *testing.T) {
+	g := topology.Line(2, 1)
+	sink := &countSink{}
+	cases := []struct {
+		name string
+		cfg  HelloConfig
+	}{
+		{"zero interval", HelloConfig{Jitter: 1, Until: 100, Sink: sink}},
+		{"negative jitter", HelloConfig{Interval: 64, Jitter: -1, Until: 100, Sink: sink}},
+		{"no horizon", HelloConfig{Interval: 64, Jitter: 1, Sink: sink}},
+		{"no sink", HelloConfig{Interval: 64, Jitter: 1, Until: 100}},
+	}
+	for _, tc := range cases {
+		r := newRig(t, g, Config{})
+		if err := r.f.EnableHello(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	r := newRig(t, g, Config{})
+	good := HelloConfig{Interval: 64, Jitter: 8, Until: 100, Sink: sink}
+	if err := r.f.EnableHello(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.EnableHello(good); err == nil {
+		t.Error("double enable accepted")
+	}
+}
+
+func TestHelloEngineDeliversAndDrains(t *testing.T) {
+	g := topology.Torus(2, 2, 1, 1)
+	r := newRig(t, g, Config{})
+	sink := &countSink{}
+	until := des.Time(2000)
+	err := r.f.EnableHello(HelloConfig{Interval: 64, Jitter: 8, Seed: 9, Until: until, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 0)
+
+	// The fabric must go fully idle once the horizon passes: the drain-based
+	// invariants of the chaos tests depend on it.
+	if n := r.k.Pending(); n != 0 {
+		t.Fatalf("fabric did not drain after hello horizon: %d events pending", n)
+	}
+	ctr := r.f.Counters()
+	if ctr.HellosSent == 0 {
+		t.Fatal("no hellos sent")
+	}
+	// An idle fabric drops and defers nothing: every hello sent before the
+	// horizon is seen (the last few may still be in flight when transmission
+	// stops, so allow that small tail).
+	if ctr.HellosLost != 0 || ctr.HellosDeferred != 0 {
+		t.Fatalf("idle fabric lost %d / deferred %d hellos", ctr.HellosLost, ctr.HellosDeferred)
+	}
+	if ctr.HellosSeen != ctr.HellosSent && ctr.HellosSeen < ctr.HellosSent-int64(len(r.f.HelloEndpoints())) {
+		t.Fatalf("sent %d hellos, saw %d", ctr.HellosSent, ctr.HellosSeen)
+	}
+	if sink.seen != ctr.HellosSeen {
+		t.Fatalf("sink saw %d, counter %d", sink.seen, ctr.HellosSeen)
+	}
+	if sink.ticks == 0 || sink.last > until {
+		t.Fatalf("sink ticked %d times, last at %d (horizon %d)", sink.ticks, sink.last, until)
+	}
+	// Hellos live outside the worm conservation law.
+	if ctr.Injected != 0 || ctr.Delivered != 0 || ctr.FlitsDropped != 0 {
+		t.Fatalf("hello traffic leaked into worm counters: %+v", ctr)
+	}
+}
+
+func TestHelloDeterministicSchedule(t *testing.T) {
+	run := func() (Counters, int64) {
+		g := topology.Torus(2, 2, 1, 1)
+		r := newRig(t, g, Config{})
+		sink := &countSink{}
+		if err := r.f.EnableHello(HelloConfig{Interval: 64, Jitter: 8, Seed: 9, Until: 2000, Sink: sink}); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, 0)
+		return r.f.Counters(), sink.seen
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("hello schedule not deterministic:\n%+v (%d)\n%+v (%d)", c1, s1, c2, s2)
+	}
+}
+
+func TestHelloDefersToData(t *testing.T) {
+	// A long worm monopolizes the host link's single pipeline slot; a hello
+	// due mid-worm must wait rather than corrupt the wire.
+	g := topology.Line(2, 1)
+	r := newRig(t, g, Config{})
+	sink := &countSink{}
+	if err := r.f.EnableHello(HelloConfig{Interval: 4, Jitter: 0, Seed: 3, Until: 4000, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	hosts := g.Hosts()
+	w := r.unicast(t, hosts[0], hosts[1], 600)
+	if err := r.f.Inject(hosts[0], w); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 0)
+	if len(r.deliveries) != 1 {
+		t.Fatalf("worm not delivered alongside hellos: %d deliveries", len(r.deliveries))
+	}
+	ctr := r.f.Counters()
+	if ctr.HellosDeferred == 0 {
+		t.Fatalf("no hello deferred to the 600-byte worm: %+v", ctr)
+	}
+	if ctr.HellosSent == 0 || ctr.HellosSeen != ctr.HellosSent {
+		t.Fatalf("hello delivery broken under data traffic: %+v", ctr)
+	}
+}
+
+func TestHelloBlackHoledByDeadLink(t *testing.T) {
+	g := topology.Line(2, 1)
+	r := newRig(t, g, Config{})
+	sink := &countSink{}
+	if err := r.f.EnableHello(HelloConfig{Interval: 16, Jitter: 0, Seed: 3, Until: 2000, Sink: sink}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the switch-switch cable; its hellos (both directions) are eaten.
+	sw := g.Switches()[0]
+	var port topology.PortID = -1
+	for pi, p := range g.Node(sw).Ports {
+		if p.Wired() && g.Node(p.Peer).Kind == topology.Switch {
+			port = topology.PortID(pi)
+			break
+		}
+	}
+	if port < 0 {
+		t.Fatal("no switch-switch cable")
+	}
+	if err := r.f.FailLink(sw, port); err != nil {
+		t.Fatal(err)
+	}
+	if r.f.LinkAlive(sw, port) {
+		t.Fatal("LinkAlive reports a dead link as alive")
+	}
+	r.run(t, 0)
+	ctr := r.f.Counters()
+	if ctr.HellosLost == 0 {
+		t.Fatalf("dead link ate no hellos: %+v", ctr)
+	}
+	if ctr.HellosSeen+ctr.HellosLost < ctr.HellosSent {
+		t.Fatalf("hello accounting leak: %+v", ctr)
+	}
+}

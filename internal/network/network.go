@@ -27,6 +27,7 @@ import (
 
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
+	"wormlan/internal/rng"
 	"wormlan/internal/topology"
 	"wormlan/internal/trace"
 	"wormlan/internal/updown"
@@ -163,6 +164,16 @@ type Counters struct {
 	EpochMismatches int64 // stale-route worms injected before the last topology change
 	TruncatedDrops  int64 // worms discarded at a host after a forward reset
 	CorruptDrops    int64 // worms discarded at a host for flit corruption
+
+	// Hello-protocol accounting (see hello.go).  Hello flits are control
+	// symbols outside the worm conservation law, so they get their own
+	// counters: Sent + Lost + Deferred-resolutions happen on the sending
+	// end, Seen on the receiving end; Sent - Seen is the in-flight or
+	// black-holed residue.
+	HellosSent     int64 // hello flits placed on live links
+	HellosSeen     int64 // hello flits consumed at receiving ends
+	HellosLost     int64 // hellos eaten by dead links
+	HellosDeferred int64 // tick-level deferrals to data traffic or STOP
 }
 
 // Fabric is the switching fabric of one wormhole LAN.
@@ -188,6 +199,11 @@ type Fabric struct {
 	epoch   int64               // topology epoch, bumped on every fail/restore
 	fail    *updown.Failures    // current dead links and switches
 	dropped map[*flit.Worm]bool // worm copies already counted in WormsDropped
+
+	// Hello engine state (see hello.go); nil when the protocol is off.
+	hello    *HelloConfig
+	helloDue []des.Time    // per-link next hello transmission time
+	helloRng []*rng.Source // per-link jitter streams
 
 	// Observability (see observe.go).
 	rec     trace.Recorder // nil when tracing is disabled
@@ -332,9 +348,14 @@ func (f *Fabric) Tick(now des.Time) bool {
 			l.occ[slot] = false
 			l.inFlight--
 			l.pipe[slot] = flit.Flit{}
-			if s := f.sw[l.dstNode]; s != nil {
-				s.in[l.dstPort].receive(fl)
-			} else {
+			switch {
+			case fl.Kind == flit.Hello:
+				// Control symbol: consumed here, never enters slack buffers
+				// or reassemblers.
+				f.helloRecv(l, now)
+			case f.sw[l.dstNode] != nil:
+				f.sw[l.dstNode].in[l.dstPort].receive(fl)
+			default:
 				f.hosts[l.dstNode].receive(fl, now)
 			}
 		}
@@ -364,6 +385,10 @@ func (f *Fabric) Tick(now des.Time) bool {
 		}
 		h.transmit(now)
 	}
+
+	// Phase 3b: due liveness hellos go out on links the data phases left
+	// free this tick (no-op unless EnableHello was called).
+	f.helloPhase(now)
 
 	// Phase 4: input ports publish STOP/GO onto the reverse channels.
 	for _, s := range f.sw {

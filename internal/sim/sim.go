@@ -12,6 +12,7 @@ import (
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
+	"wormlan/internal/liveness"
 	"wormlan/internal/multicast"
 	"wormlan/internal/network"
 	"wormlan/internal/stats"
@@ -111,9 +112,24 @@ type Config struct {
 	// supported with adapter-level schemes: switch-level replication has
 	// no recovery protocol.
 	FaultPlan *fault.Plan
-	// RemapDelay is the mapper daemon's detection-plus-convergence latency
-	// after a topology change (default 512 byte-times).
+	// RemapDelay is the oracle mode's detection-plus-convergence latency
+	// after a topology change (default fault.DefaultRemapDelay, 512
+	// byte-times); see that constant for what the lump models.  Ignored
+	// under Detect == fault.DetectHello, where detection latency is
+	// measured rather than assumed.
 	RemapDelay des.Time
+
+	// Detect selects the failure-detection mode: fault.DetectOracle (the
+	// default — the injector triggers recovery directly, the paper's
+	// mapper-daemon assumption) or fault.DetectHello (the in-band
+	// hello/liveness protocol of internal/liveness; detection latency,
+	// false positives, and flaps surface in Results.Detection).  Hello
+	// detection may run without a FaultPlan: under congestion alone it
+	// measures the protocol's false-positive behaviour.
+	Detect fault.DetectMode `json:"detect,omitempty"`
+	// Liveness overrides hello-protocol parameters in hello mode; nil
+	// takes the liveness package defaults.
+	Liveness *liveness.Config `json:"liveness,omitempty"`
 }
 
 // Results aggregates one run's measurements.
@@ -141,6 +157,10 @@ type Results struct {
 	Fabric  network.Counters
 	// Fault aggregates injector activity when Config.FaultPlan is set.
 	Fault fault.Counters
+	// Detection reports the hello protocol's outcomes (verdict counts,
+	// false positives, flaps, detection-to-reroute latency quantiles) when
+	// Config.Detect == fault.DetectHello; nil in oracle mode.
+	Detection *fault.DetectionStats `json:",omitempty"`
 
 	// Channels / Switches are the fabric's per-link utilization and
 	// per-switch crossbar occupancy metrics; Histograms are the latency
@@ -187,8 +207,8 @@ func Run(cfg Config) (*Results, error) {
 	if cfg.Drain == 0 {
 		cfg.Drain = cfg.Measure / 2
 	}
-	if cfg.FaultPlan != nil && cfg.Scheme.SwitchLevel {
-		return nil, fmt.Errorf("sim: fault injection is not supported with switch-level replication (no recovery protocol)")
+	if (cfg.FaultPlan != nil || cfg.Detect == fault.DetectHello) && cfg.Scheme.SwitchLevel {
+		return nil, fmt.Errorf("sim: fault injection and hello detection are not supported with switch-level replication (no recovery protocol)")
 	}
 	k := des.NewKernel()
 	ud, err := updown.New(cfg.Graph, topology.None)
@@ -349,13 +369,31 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	var inj *fault.Injector
-	if cfg.FaultPlan != nil {
-		inj = fault.NewInjector(k, fab, cfg.FaultPlan, fault.InjectorConfig{
+	if cfg.FaultPlan != nil || cfg.Detect == fault.DetectHello {
+		icfg := fault.InjectorConfig{
 			RemapDelay: cfg.RemapDelay,
+			Mode:       cfg.Detect,
 			OnRemap: func(ud *updown.Routing, tbl *updown.Table) {
 				sys.Reroute(tbl, ud.Reachable)
 			},
-		})
+		}
+		if cfg.Detect == fault.DetectHello {
+			if cfg.Liveness != nil {
+				icfg.Hello = *cfg.Liveness
+			}
+			// Hellos stop with traffic generation: the drain phase then
+			// empties the fabric so quiescence invariants stay checkable.
+			icfg.HelloUntil = windowEnd
+			icfg.Recorder = tracer
+		}
+		plan := cfg.FaultPlan
+		if plan == nil {
+			plan = &fault.Plan{}
+		}
+		inj, err = fault.NewInjector(k, fab, plan, icfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	gen, err := traffic.New(k, traffic.Config{
@@ -383,6 +421,7 @@ func Run(cfg Config) (*Results, error) {
 	res.Fabric = fab.Counters()
 	if inj != nil {
 		res.Fault = inj.Counters()
+		res.Detection = inj.Detection()
 	}
 	res.Stalled = fab.Stalled(10 * des.Time(cfg.MeanWorm))
 	res.Drained = k.Pending() == 0

@@ -86,26 +86,53 @@ const (
 	// timeout (Worm is 0 — the retry draws a fresh worm ID at injection —
 	// and Arg is the transfer ID).
 	EvRetransmit
+	// EvHelloSent: a liveness hello flit was placed on a directional link
+	// (Node/Port are the sending end; Arg is the link index).
+	EvHelloSent
+	// EvHelloMissed: a liveness endpoint's hello deadline expired (Node/Port
+	// are the receiving end; Arg is the consecutive-miss count).
+	EvHelloMissed
+	// EvPeerDown: the liveness monitor declared the peer behind (Node, Port)
+	// down after the detect-multiplier of misses (Arg is 1 when the verdict
+	// is a false positive — the link was merely congested, not dead).
+	EvPeerDown
+	// EvPeerUp: the liveness monitor re-admitted the peer behind (Node,
+	// Port) after its hold-down window (Arg is the hold duration served).
+	EvPeerUp
+	// EvFlapSuppressed: hellos reappeared on a down endpoint but stopped
+	// again before the hold-down matured; the re-admission was cancelled
+	// (Node/Port are the receiving end).
+	EvFlapSuppressed
+	// EvRetransmitBackoff: a host adapter armed a retry timer (Worm is the
+	// transfer ID, Arg is the backoff delay in byte-times; Port is 0 for an
+	// ACK-timeout timer, 1 for a NACK backoff).
+	EvRetransmitBackoff
 )
 
 var kindNames = [...]string{
-	EvOriginate:    "originate",
-	EvInject:       "inject",
-	EvHeadAtSwitch: "head-at-switch",
-	EvBlocked:      "blocked",
-	EvResumed:      "resumed",
-	EvTailDrained:  "tail-drained",
-	EvDelivered:    "delivered",
-	EvDropped:      "dropped",
-	EvFlushed:      "flushed",
-	EvStop:         "stop",
-	EvGo:           "go",
-	EvMCIdle:       "mc-idle",
-	EvInterrupt:    "interrupt",
-	EvResume:       "resume",
-	EvAck:          "ack",
-	EvNack:         "nack",
-	EvRetransmit:   "retransmit",
+	EvOriginate:         "originate",
+	EvInject:            "inject",
+	EvHeadAtSwitch:      "head-at-switch",
+	EvBlocked:           "blocked",
+	EvResumed:           "resumed",
+	EvTailDrained:       "tail-drained",
+	EvDelivered:         "delivered",
+	EvDropped:           "dropped",
+	EvFlushed:           "flushed",
+	EvStop:              "stop",
+	EvGo:                "go",
+	EvMCIdle:            "mc-idle",
+	EvInterrupt:         "interrupt",
+	EvResume:            "resume",
+	EvAck:               "ack",
+	EvNack:              "nack",
+	EvRetransmit:        "retransmit",
+	EvHelloSent:         "hello-sent",
+	EvHelloMissed:       "hello-missed",
+	EvPeerDown:          "peer-down",
+	EvPeerUp:            "peer-up",
+	EvFlapSuppressed:    "flap-suppressed",
+	EvRetransmitBackoff: "retransmit-backoff",
 }
 
 // String names the kind.
