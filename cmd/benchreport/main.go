@@ -1,0 +1,147 @@
+// Command benchreport assembles the tracked benchmark trajectory file
+// (BENCH_<issue>.json) from raw benchmark outputs and enforces the
+// zero-alloc pin.
+//
+// Usage:
+//
+//	go test -bench BenchmarkDeliveredWormAllocs -benchtime 1x ./internal/network > bench.txt
+//	mcbench -fig 10 > fig10.txt
+//	benchreport -bench bench.txt -fig10 fig10.txt -o BENCH_7.json
+//
+// It parses the `go test -bench` line for ns/op and allocs/op, the
+// mcbench footer (`[fig10: N points (M cached) in Xs]`) for grid
+// throughput, and writes a JSON record comparing both against the
+// embedded pre-PR baseline.  Exit status: 0 on success, 1 if the
+// allocs-per-delivered-worm pin regresses above zero (or an input cannot
+// be parsed), 2 on usage errors.
+//
+// The baseline constants were measured back-to-back with the optimized
+// build on one machine (seed and PR binaries alternated, single worker,
+// best of three) so they share cache and thermal conditions; the CI run
+// re-measures only the current build, so cross-machine points/sec is
+// informational while the allocs pin is the hard gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// Pre-PR (seed) baseline, measured with `mcbench -fig 10 -parallel 1`,
+// best of three alternated runs.  See BENCHMARKS.md for the trajectory.
+const (
+	issueNumber         = 7
+	baselineFig10Points = 9
+	baselineFig10Secs   = 10.488
+)
+
+// report is the BENCH_<issue>.json schema.
+type report struct {
+	Issue int    `json:"issue"`
+	Date  string `json:"date"`
+
+	Fig10 struct {
+		Points             int     `json:"points"`
+		BaselineSeconds    float64 `json:"baselineSeconds"`
+		Seconds            float64 `json:"seconds"`
+		BaselinePointsSec  float64 `json:"baselinePointsPerSec"`
+		PointsSec          float64 `json:"pointsPerSec"`
+		Speedup            float64 `json:"speedup"`
+		MinAcceptedSpeedup float64 `json:"minAcceptedSpeedup"`
+		RoadmapSpeedup     float64 `json:"roadmapSpeedup"`
+	} `json:"fig10"`
+
+	DeliveredWorm struct {
+		NsPerWorm     float64 `json:"nsPerWorm"`
+		AllocsPerWorm float64 `json:"allocsPerWorm"`
+	} `json:"deliveredWorm"`
+}
+
+var (
+	benchRx = regexp.MustCompile(`(?m)^BenchmarkDeliveredWormAllocs\S*\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?\s+([\d.]+) allocs/op`)
+	fig10Rx = regexp.MustCompile(`\[fig10: (\d+) points \(\d+ cached\) in ([\d.]+)s\]`)
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	benchPath := fs.String("bench", "", "go test -bench output containing BenchmarkDeliveredWormAllocs")
+	fig10Path := fs.String("fig10", "", "mcbench -fig 10 output")
+	outPath := fs.String("o", fmt.Sprintf("BENCH_%d.json", issueNumber), "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *benchPath == "" || *fig10Path == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: -bench and -fig10 are required")
+		return 2
+	}
+
+	var r report
+	r.Issue = issueNumber
+	r.Date = time.Now().UTC().Format("2006-01-02")
+
+	bench, err := os.ReadFile(*benchPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 1
+	}
+	m := benchRx.FindSubmatch(bench)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "benchreport: no BenchmarkDeliveredWormAllocs line in %s (run with -benchmem or rely on b.ReportAllocs)\n", *benchPath)
+		return 1
+	}
+	r.DeliveredWorm.NsPerWorm, _ = strconv.ParseFloat(string(m[1]), 64)
+	r.DeliveredWorm.AllocsPerWorm, _ = strconv.ParseFloat(string(m[2]), 64)
+
+	fig10, err := os.ReadFile(*fig10Path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 1
+	}
+	m = fig10Rx.FindSubmatch(fig10)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "benchreport: no fig10 timing footer in %s\n", *fig10Path)
+		return 1
+	}
+	points, _ := strconv.Atoi(string(m[1]))
+	secs, _ := strconv.ParseFloat(string(m[2]), 64)
+	if points == 0 || secs == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: degenerate fig10 footer %q\n", m[0])
+		return 1
+	}
+	r.Fig10.Points = points
+	r.Fig10.BaselineSeconds = baselineFig10Secs
+	r.Fig10.Seconds = secs
+	r.Fig10.BaselinePointsSec = baselineFig10Points / baselineFig10Secs
+	r.Fig10.PointsSec = float64(points) / secs
+	r.Fig10.Speedup = r.Fig10.PointsSec / r.Fig10.BaselinePointsSec
+	r.Fig10.MinAcceptedSpeedup = 5
+	r.Fig10.RoadmapSpeedup = 10
+
+	out, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 1
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 1
+	}
+	fmt.Printf("benchreport: fig10 %.2f points/s (%.1fx baseline), %.0f ns/worm, %g allocs/worm -> %s\n",
+		r.Fig10.PointsSec, r.Fig10.Speedup, r.DeliveredWorm.NsPerWorm, r.DeliveredWorm.AllocsPerWorm, *outPath)
+
+	if r.DeliveredWorm.AllocsPerWorm > 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: FAIL: %g allocs per delivered worm, pin is 0\n", r.DeliveredWorm.AllocsPerWorm)
+		return 1
+	}
+	return 0
+}

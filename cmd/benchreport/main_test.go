@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: wormlan/internal/network
+BenchmarkDeliveredWormAllocs 	   55186	     38158 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+const sampleFig10 = `Figure 10: average multicast latency vs offered load, 8x8 torus
+scheme                  load    mcLatency   uniLatency   thpt/host   n
+hamiltonian             0.015        2607         528      0.0259   150
+  [fig10: 9 points (0 cached) in 2.000s]
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bench := write(t, dir, "bench.txt", sampleBench)
+	fig10 := write(t, dir, "fig10.txt", sampleFig10)
+	out := filepath.Join(dir, "BENCH_7.json")
+	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-o", out}); rc != 0 {
+		t.Fatalf("run = %d, want 0", rc)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Issue != issueNumber || r.Fig10.Points != 9 || r.Fig10.Seconds != 2.0 {
+		t.Errorf("unexpected report: %+v", r)
+	}
+	if r.DeliveredWorm.NsPerWorm != 38158 || r.DeliveredWorm.AllocsPerWorm != 0 {
+		t.Errorf("unexpected delivered-worm stats: %+v", r.DeliveredWorm)
+	}
+	if want := (9 / 2.0) / (baselineFig10Points / baselineFig10Secs); r.Fig10.Speedup != want {
+		t.Errorf("speedup = %v, want %v", r.Fig10.Speedup, want)
+	}
+}
+
+func TestAllocsPinFails(t *testing.T) {
+	dir := t.TempDir()
+	bench := write(t, dir, "bench.txt",
+		"BenchmarkDeliveredWormAllocs 	   100	     38158 ns/op	      16 B/op	       2 allocs/op\n")
+	fig10 := write(t, dir, "fig10.txt", sampleFig10)
+	out := filepath.Join(dir, "BENCH_7.json")
+	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-o", out}); rc != 1 {
+		t.Fatalf("run = %d, want 1 (allocs pin)", rc)
+	}
+	// The report is still written so the artifact shows the regression.
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("report not written on pin failure: %v", err)
+	}
+}
+
+func TestMissingInputs(t *testing.T) {
+	if rc := run([]string{}); rc != 2 {
+		t.Fatalf("run = %d, want 2 on missing flags", rc)
+	}
+	dir := t.TempDir()
+	empty := write(t, dir, "empty.txt", "nothing here\n")
+	if rc := run([]string{"-bench", empty, "-fig10", empty, "-o", filepath.Join(dir, "x.json")}); rc != 1 {
+		t.Fatalf("run = %d, want 1 on unparseable inputs", rc)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"wormlan/internal/core"
 	"wormlan/internal/des"
 	"wormlan/internal/faulttest"
+	"wormlan/internal/profiling"
 	"wormlan/internal/sweep"
 	"wormlan/internal/trace"
 )
@@ -64,8 +65,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	helloInterval := fs.Int64("hello-interval", 0, "hello transmission period in byte-times for -detect hello (0 = liveness default)")
 	detectMult := fs.Int("detect-mult", 0, "consecutive missed hellos before a peer-down verdict (0 = liveness default)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		stop, err := profiling.StartCPU(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcbench: %v\n", err)
+			return 2
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := profiling.WriteAllocs(*memProfile); err != nil {
+				fmt.Fprintf(stderr, "mcbench: %v\n", err)
+			}
+		}()
 	}
 
 	if *pprofAddr != "" {

@@ -29,6 +29,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
 	"wormlan/internal/liveness"
+	"wormlan/internal/profiling"
 	"wormlan/internal/sim"
 	"wormlan/internal/topology"
 	"wormlan/internal/trace"
@@ -138,8 +139,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write a Chrome trace-event (Perfetto) JSON of the run to this file")
 	metrics := fs.Bool("metrics", false, "collect and print per-channel utilization, crossbar occupancy, and latency histograms")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		stop, err := profiling.StartCPU(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "wormsim: %v\n", err)
+			return 2
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := profiling.WriteAllocs(*memProfile); err != nil {
+				fmt.Fprintf(stderr, "wormsim: %v\n", err)
+			}
+		}()
 	}
 
 	if *pprofAddr != "" {
@@ -242,8 +261,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if *metrics {
-		fmt.Fprintf(stdout, "kernel:            %d events dispatched, peak queue %d\n",
-			res.EventsDispatched, res.MaxQueueDepth)
+		fmt.Fprintf(stdout, "kernel:            %d events dispatched, peak queue %d, %.2f events/tick\n",
+			res.EventsDispatched, res.MaxQueueDepth, res.EventsPerTick)
 		if h := res.Histograms; h != nil {
 			for _, hist := range []*trace.Histogram{&h.MC, &h.Uni, &h.All, &h.Queue} {
 				fmt.Fprintf(stdout, "%s\n", hist)

@@ -464,9 +464,7 @@ func (s *System) Reroute(tbl *updown.Table, reachable func(topology.NodeID) bool
 		})
 		for _, key := range doomed {
 			o := a.outstanding[key]
-			if o.timer != nil {
-				s.K.Cancel(o.timer)
-			}
+			s.K.Cancel(o.timer)
 			delete(a.outstanding, key)
 			s.stats.PrunedHops++
 			s.stats.GiveUps++
@@ -546,7 +544,7 @@ type hopKey struct {
 type outstanding struct {
 	info    *mcInfo
 	dst     topology.NodeID
-	timer   *eventq.Event
+	timer   eventq.Handle
 	retries int
 }
 
@@ -790,9 +788,7 @@ func (a *Adapter) transmit(info *mcInfo, dst topology.NodeID, pace *flit.Worm) {
 // the hop retries on timeout until the detector reroutes around the
 // failure or MaxRetries converts it into a counted give-up.
 func (a *Adapter) armTimer(key hopKey, o *outstanding) {
-	if o.timer != nil {
-		a.sys.K.Cancel(o.timer)
-	}
+	a.sys.K.Cancel(o.timer)
 	wire := des.Time(o.info.Transfer.Payload + 16)
 	backoff := a.sys.Cfg.AckTimeoutBase << uint(min(o.retries, 3))
 	timeout := backoff + 8*wire + des.Time(a.sys.r.Intn(int(a.sys.Cfg.AckTimeoutBase/8)+1))
@@ -846,9 +842,7 @@ func (a *Adapter) onNack(t *Transfer, from topology.NodeID) {
 	a.sys.stats.Retransmits++
 	// Back off before retrying: the successor's buffer needs time to
 	// drain (Figure 5: "resume transmission after a time out").
-	if o.timer != nil {
-		a.sys.K.Cancel(o.timer)
-	}
+	a.sys.K.Cancel(o.timer)
 	base := a.sys.Cfg.NackBackoff << uint(min(o.retries, 4))
 	delay := base/2 + des.Time(a.sys.r.Intn(int(base)))
 	if a.sys.rec != nil {

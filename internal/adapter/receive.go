@@ -126,9 +126,7 @@ func (a *Adapter) onAckWorm(ci *ctrlInfo) {
 	if o == nil {
 		return // duplicate ACK after a retransmission; already settled
 	}
-	if o.timer != nil {
-		a.sys.K.Cancel(o.timer)
-	}
+	a.sys.K.Cancel(o.timer)
 	delete(a.outstanding, key)
 	a.hopFinished(ci.Transfer)
 }

@@ -1,139 +1,311 @@
 // Package eventq implements the pending-event set used by the discrete-event
-// simulation kernel: a binary min-heap ordered by (time, sequence number).
+// simulation kernel: a hierarchical timing wheel ordered by (time, sequence
+// number).
 //
-// The secondary sequence-number key makes event ordering total and FIFO
-// among simultaneous events, which is what makes simulations reproducible:
-// two events scheduled for the same instant fire in the order they were
-// scheduled, independent of heap internals.
+// The structure is an aligned (Linux-style) 8-level wheel with 256 slots per
+// level.  An event lands at the level of the highest byte in which its firing
+// time differs from the queue's horizon `cur` (the lower bound of all pending
+// times), in the slot addressed by that byte.  Byte-time locality — most
+// events land within a few hundred byte-times of now — means nearly all
+// traffic stays in level 0, where schedule and pop are O(1) bitmap
+// operations.  Far events cascade down one level at a time as the horizon
+// crosses their block boundary.
+//
+// Ordering is total and FIFO among simultaneous events, which is what makes
+// simulations reproducible: two events scheduled for the same instant fire
+// in the order they were scheduled.  The wheel preserves this without
+// comparisons: same-time events always share a slot at every level, slot
+// lists append at the tail, and cascades re-insert in traversal order, so
+// list order is scheduling order.  (internal/eventq/heapref keeps the
+// original binary-heap implementation as a test oracle for this contract.)
+//
+// Events are pooled on an internal free list; Schedule returns a
+// generation-checked Handle so canceling an event that already fired — and
+// whose Event struct may since have been recycled for an unrelated timer —
+// is a safe no-op.
 package eventq
 
-// Event is a scheduled callback.
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	levelBits = 8
+	numSlots  = 1 << levelBits // 256 slots per level
+	slotMask  = numSlots - 1
+	numLevels = 8 // 8 levels x 8 bits covers the full int64 time range
+	wordBits  = 64
+	numWords  = numSlots / wordBits // occupancy-bitmap words per level
+)
+
+// Event is a scheduled callback.  Event structs are owned and recycled by
+// the Queue; callers hold Handles, never long-lived *Event pointers.
 type Event struct {
 	// Time is the simulation time at which the event fires, in byte-times.
 	Time int64
 	// Fire is invoked when the event is dispatched.
 	Fire func()
 
-	seq      uint64
-	index    int // position in the heap, -1 if not queued
-	canceled bool
+	seq  uint64 // scheduling order, documents the (time, seq) contract
+	gen  uint64 // bumped on recycle; stale Handles no-op
+	next *Event
+	prev *Event
+	// pos packs level<<levelBits|slot while queued; -1 when free or popped.
+	pos int32
 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
+// Handle identifies one scheduled event for cancellation.  The zero Handle
+// is inert.  A Handle to an event that has fired or been canceled no-ops on
+// Cancel, even if the underlying Event struct has been recycled since.
+type Handle struct {
+	e   *Event
+	gen uint64
+}
+
+// Scheduled reports whether the handle still refers to a pending event.
+func (h Handle) Scheduled() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.pos >= 0
+}
+
+type slotList struct{ head, tail *Event }
 
 // Queue is a pending-event set.  The zero value is ready to use.
 // Queue is not safe for concurrent use; the DES kernel is single-threaded.
 type Queue struct {
-	heap []*Event
-	seq  uint64
+	// cur is the horizon: no pending event fires before it.  It advances
+	// as events pop and as cascades cross block boundaries, and is lowered
+	// (never below popped) when a schedule lands in the gap a cascade
+	// opened.
+	cur int64
+	// popped is the time of the most recent Pop: the hard floor below
+	// which scheduling is a model bug.
+	popped int64
+	count  int
+	seq    uint64
+
+	slots [numLevels][numSlots]slotList
+	occ   [numLevels][numWords]uint64
+
+	free *Event
 }
 
 // Len returns the number of scheduled (non-canceled) events.
 // Canceled events are removed eagerly, so Len is exact.
-func (q *Queue) Len() int { return len(q.heap) }
+func (q *Queue) Len() int { return q.count }
 
 // Schedule adds an event firing at time t and returns a handle that can be
-// used to cancel it.
-func (q *Queue) Schedule(t int64, fire func()) *Event {
+// used to cancel it.  Scheduling before the time of the last Pop panics:
+// the kernel never schedules in the past.  (The horizon can sit past the
+// last pop when a cascade crossed a block boundary while the next pending
+// event was still far away; scheduling into that gap is legal and lowers
+// the horizon back, an O(n) re-place on a cold path.)
+func (q *Queue) Schedule(t int64, fire func()) Handle {
+	if t < q.cur {
+		if t < q.popped {
+			panic(fmt.Sprintf("eventq: scheduling at %d before last pop %d", t, q.popped))
+		}
+		q.lowerHorizon(t)
+	}
+	e := q.alloc()
 	q.seq++
-	e := &Event{Time: t, Fire: fire, seq: q.seq}
-	q.push(e)
-	return e
+	e.Time, e.Fire, e.seq = t, fire, q.seq
+	q.place(e)
+	q.count++
+	return Handle{e: e, gen: e.gen}
 }
 
-// Cancel removes the event from the queue.  Canceling an event that has
-// already fired or been canceled is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		e.markCanceled()
+// Cancel removes the event from the queue.  Canceling a zero Handle, or one
+// whose event has already fired or been canceled, is a no-op.
+func (q *Queue) Cancel(h Handle) {
+	e := h.e
+	if e == nil || e.gen != h.gen || e.pos < 0 {
 		return
 	}
-	e.canceled = true
-	q.remove(e.index)
-}
-
-func (e *Event) markCanceled() {
-	if e != nil {
-		e.canceled = true
-	}
+	q.unlink(e)
+	q.count--
+	q.recycle(e)
 }
 
 // PeekTime returns the firing time of the earliest event.
 // It panics if the queue is empty.
 func (q *Queue) PeekTime() int64 {
-	return q.heap[0].Time
+	return q.slots[0][q.front()].head.Time
 }
 
-// Pop removes and returns the earliest event.
-// It panics if the queue is empty.
+// Pop removes and returns the earliest event.  It panics if the queue is
+// empty.  The caller should pass the event to Free once done with it so the
+// struct returns to the pool; an un-Freed event is simply garbage-collected.
 func (q *Queue) Pop() *Event {
-	e := q.heap[0]
-	q.remove(0)
+	s := q.front()
+	e := q.slots[0][s].head
+	q.cur = e.Time
+	q.popped = e.Time
+	q.unlink(e)
+	q.count--
 	return e
 }
 
-func (q *Queue) push(e *Event) {
-	e.index = len(q.heap)
-	q.heap = append(q.heap, e)
-	q.up(e.index)
-}
-
-func (q *Queue) remove(i int) {
-	n := len(q.heap) - 1
-	removed := q.heap[i]
-	if i != n {
-		q.swap(i, n)
+// Free returns a popped event to the pool.  The caller must drop every
+// reference to it; outstanding Handles become inert.
+func (q *Queue) Free(e *Event) {
+	if e.pos >= 0 {
+		panic("eventq: Free of a still-queued event")
 	}
-	q.heap[n] = nil
-	q.heap = q.heap[:n]
-	if i != n {
-		q.down(i)
-		q.up(i)
+	q.recycle(e)
+}
+
+// place inserts e at the level of the highest byte where e.Time differs
+// from the horizon, appending at the slot's tail (stable order).
+func (q *Queue) place(e *Event) {
+	lvl := 0
+	if diff := uint64(e.Time ^ q.cur); diff != 0 {
+		lvl = (bits.Len64(diff) - 1) / levelBits
 	}
-	removed.index = -1
-}
-
-func (q *Queue) less(i, j int) bool {
-	a, b := q.heap[i], q.heap[j]
-	if a.Time != b.Time {
-		return a.Time < b.Time
+	slot := int(uint64(e.Time)>>(uint(lvl)*levelBits)) & slotMask
+	e.pos = int32(lvl<<levelBits | slot)
+	l := &q.slots[lvl][slot]
+	e.prev = l.tail
+	e.next = nil
+	if l.tail == nil {
+		l.head = e
+		q.occ[lvl][slot>>6] |= 1 << uint(slot&63)
+	} else {
+		l.tail.next = e
 	}
-	return a.seq < b.seq
+	l.tail = e
 }
 
-func (q *Queue) swap(i, j int) {
-	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
-	q.heap[i].index = i
-	q.heap[j].index = j
+func (q *Queue) unlink(e *Event) {
+	lvl, slot := int(e.pos)>>levelBits, int(e.pos)&slotMask
+	l := &q.slots[lvl][slot]
+	if e.prev == nil {
+		l.head = e.next
+	} else {
+		e.prev.next = e.next
+	}
+	if e.next == nil {
+		l.tail = e.prev
+	} else {
+		e.next.prev = e.prev
+	}
+	if l.head == nil {
+		q.occ[lvl][slot>>6] &^= 1 << uint(slot&63)
+	}
+	e.next, e.prev = nil, nil
+	e.pos = -1
 }
 
-func (q *Queue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+// front returns the level-0 slot of the earliest event, cascading
+// higher-level blocks down as the horizon advances.  The queue must be
+// non-empty.  All events in one level-0 slot share one exact firing time.
+func (q *Queue) front() int {
+	for {
+		if s := q.scan(0, int(uint64(q.cur))&slotMask); s >= 0 {
+			return s
+		}
+		// Level 0 is empty at or after the horizon's slot: advance to the
+		// next occupied block at the lowest non-empty level and pull its
+		// events down (they re-place at strictly lower levels).
+		cascaded := false
+		for lvl := 1; lvl < numLevels; lvl++ {
+			shift := uint(lvl) * levelBits
+			cs := int(uint64(q.cur)>>shift) & slotMask
+			// Slot cs itself cannot hold events (they would differ from
+			// cur in a lower byte and live at a lower level).
+			s := q.scan(lvl, cs+1)
+			if s < 0 {
+				continue
+			}
+			blockMask := (uint64(1) << (shift + levelBits)) - 1
+			q.cur = int64(uint64(q.cur)&^blockMask | uint64(s)<<shift)
+			l := &q.slots[lvl][s]
+			head := l.head
+			l.head, l.tail = nil, nil
+			q.occ[lvl][s>>6] &^= 1 << uint(s&63)
+			for e := head; e != nil; {
+				nx := e.next
+				q.place(e)
+				e = nx
+			}
+			cascaded = true
 			break
 		}
-		q.swap(i, parent)
-		i = parent
+		if !cascaded {
+			panic("eventq: non-empty queue with no occupied slot")
+		}
 	}
 }
 
-func (q *Queue) down(i int) {
-	n := len(q.heap)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		small := left
-		if right := left + 1; right < n && q.less(right, left) {
-			small = right
-		}
-		if !q.less(small, i) {
-			return
-		}
-		q.swap(i, small)
-		i = small
+// scan returns the first occupied slot index >= from at the given level,
+// or -1.
+func (q *Queue) scan(lvl, from int) int {
+	if from >= numSlots {
+		return -1
 	}
+	w := from >> 6
+	word := q.occ[lvl][w] >> uint(from&63) << uint(from&63)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w == numWords {
+			return -1
+		}
+		word = q.occ[lvl][w]
+	}
+}
+
+func (q *Queue) alloc() *Event {
+	if e := q.free; e != nil {
+		q.free = e.next
+		e.next = nil
+		return e
+	}
+	//wormlint:alloc pool miss: the event joins the free-list when popped or cancelled
+	return &Event{pos: -1}
+}
+
+// lowerHorizon moves the horizon back to t and re-places every pending
+// event: slot addressing is relative to the horizon's high bytes, so a
+// backward move across a block boundary invalidates positions wholesale.
+// Same-time events always share a slot, so draining slots in any order and
+// re-placing each list in traversal order preserves FIFO.
+func (q *Queue) lowerHorizon(t int64) {
+	var head, tail *Event
+	for lvl := 0; lvl < numLevels; lvl++ {
+		for w := 0; w < numWords; w++ {
+			word := q.occ[lvl][w]
+			q.occ[lvl][w] = 0
+			for word != 0 {
+				slot := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				l := &q.slots[lvl][slot]
+				if tail == nil {
+					head = l.head
+				} else {
+					tail.next = l.head
+					l.head.prev = tail
+				}
+				tail = l.tail
+				l.head, l.tail = nil, nil
+			}
+		}
+	}
+	q.cur = t
+	for e := head; e != nil; {
+		nx := e.next
+		q.place(e)
+		e = nx
+	}
+}
+
+func (q *Queue) recycle(e *Event) {
+	e.gen++
+	e.Fire = nil
+	e.pos = -1
+	e.prev = nil
+	e.next = q.free
+	q.free = e
 }

@@ -47,16 +47,22 @@ func TestFIFOAmongSimultaneous(t *testing.T) {
 func TestCancel(t *testing.T) {
 	var q Queue
 	fired := map[int]bool{}
-	var events []*Event
+	var handles []Handle
 	for i := 0; i < 10; i++ {
 		i := i
-		events = append(events, q.Schedule(int64(i), func() { fired[i] = true }))
+		handles = append(handles, q.Schedule(int64(i), func() { fired[i] = true }))
 	}
-	q.Cancel(events[3])
-	q.Cancel(events[7])
-	q.Cancel(events[7]) // double-cancel is a no-op
+	q.Cancel(handles[3])
+	q.Cancel(handles[7])
+	q.Cancel(handles[7]) // double-cancel is a no-op
 	if q.Len() != 8 {
 		t.Fatalf("Len = %d after cancels, want 8", q.Len())
+	}
+	if handles[3].Scheduled() {
+		t.Fatal("canceled handle still reports Scheduled")
+	}
+	if !handles[5].Scheduled() {
+		t.Fatal("live handle does not report Scheduled")
 	}
 	for q.Len() > 0 {
 		q.Pop().Fire()
@@ -67,26 +73,56 @@ func TestCancel(t *testing.T) {
 			t.Fatalf("event %d fired=%v, want %v", i, fired[i], want)
 		}
 	}
-	if !events[3].Canceled() {
-		t.Fatal("canceled event does not report Canceled")
-	}
 }
 
-func TestCancelNil(t *testing.T) {
+func TestCancelZeroHandle(t *testing.T) {
 	var q Queue
-	q.Cancel(nil) // must not panic
+	q.Cancel(Handle{}) // must not panic
 }
 
 func TestCancelAfterPop(t *testing.T) {
 	var q Queue
-	e := q.Schedule(1, func() {})
-	popped := q.Pop()
-	if popped != e {
+	h := q.Schedule(1, func() {})
+	e := q.Pop()
+	if e.Time != 1 {
 		t.Fatal("popped wrong event")
 	}
-	q.Cancel(e) // canceling a fired event is a no-op
+	q.Cancel(h) // canceling a fired event is a no-op
 	if q.Len() != 0 {
 		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+// TestCancelRecycledEvent pins the pooling hazard the generation check
+// exists for: a stale handle whose Event struct has been recycled for a
+// different timer must not cancel the new owner's event.
+func TestCancelRecycledEvent(t *testing.T) {
+	var q Queue
+	stale := q.Schedule(1, func() {})
+	q.Free(q.Pop()) // fires and recycles the struct
+	fired := false
+	fresh := q.Schedule(2, func() { fired = true })
+	q.Cancel(stale) // must not touch the recycled event
+	if q.Len() != 1 {
+		t.Fatalf("stale cancel removed the recycled event (Len = %d)", q.Len())
+	}
+	if !fresh.Scheduled() {
+		t.Fatal("fresh handle lost its event to a stale cancel")
+	}
+	q.Pop().Fire()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+func TestFreeRecycles(t *testing.T) {
+	var q Queue
+	q.Schedule(1, func() {})
+	e := q.Pop()
+	q.Free(e)
+	h := q.Schedule(2, func() {})
+	if h.e != e {
+		t.Fatal("freed event was not recycled by the next schedule")
 	}
 }
 
@@ -100,30 +136,86 @@ func TestPeekTime(t *testing.T) {
 	}
 }
 
-func TestHeapPropertyRandomized(t *testing.T) {
+// TestFarEventsCascade exercises multi-level placement and cascade: times
+// spanning every wheel level still pop in order.
+func TestFarEventsCascade(t *testing.T) {
+	var q Queue
+	times := []int64{0, 1, 255, 256, 257, 65535, 65536, 1 << 20, 1<<40 + 3, 1 << 62, 1<<62 + 1}
+	perm := rand.New(rand.NewSource(7)).Perm(len(times))
+	for _, i := range perm {
+		q.Schedule(times[i], nil)
+	}
+	for i := 0; q.Len() > 0; i++ {
+		if got := q.Pop().Time; got != times[i] {
+			t.Fatalf("pop %d = %d, want %d", i, got, times[i])
+		}
+	}
+}
+
+// TestScheduleBelowHorizon pins the horizon-lowering path: a cascade can
+// advance the horizon past a gap, and a later schedule into that gap (legal
+// as long as it is not before the last pop) must still fire in order.
+func TestScheduleBelowHorizon(t *testing.T) {
+	var q Queue
+	q.Schedule(10, nil)
+	far := int64(100_000)
+	q.Schedule(far, nil)
+	if got := q.Pop().Time; got != 10 {
+		t.Fatalf("pop = %d, want 10", got)
+	}
+	if got := q.PeekTime(); got != far { // cascades, advancing the horizon
+		t.Fatalf("PeekTime = %d, want %d", got, far)
+	}
+	q.Schedule(50, nil) // below the cascaded horizon, after the last pop
+	q.Schedule(far+1, nil)
+	want := []int64{50, far, far + 1}
+	for i, w := range want {
+		if got := q.Pop().Time; got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestScheduleBeforePopPanics(t *testing.T) {
+	var q Queue
+	q.Schedule(10, nil)
+	q.Pop()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling before the last pop did not panic")
+		}
+	}()
+	q.Schedule(9, nil)
+}
+
+func TestOrderingPropertyRandomized(t *testing.T) {
 	// Property: popping always yields non-decreasing times regardless of the
 	// interleaving of schedules and cancels.
 	err := quick.Check(func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		var q Queue
-		var live []*Event
+		var live []Handle
+		now := int64(0)
 		for i := 0; i < 500; i++ {
 			switch {
 			case q.Len() == 0 || r.Intn(3) > 0:
-				live = append(live, q.Schedule(int64(r.Intn(1000)), func() {}))
+				live = append(live, q.Schedule(now+int64(r.Intn(1000)), func() {}))
 			case r.Intn(2) == 0 && len(live) > 0:
 				q.Cancel(live[r.Intn(len(live))])
 			default:
-				q.Pop()
+				e := q.Pop()
+				now = e.Time
+				q.Free(e)
 			}
 		}
-		last := int64(-1)
+		last := now
 		for q.Len() > 0 {
 			e := q.Pop()
 			if e.Time < last {
 				return false
 			}
 			last = e.Time
+			q.Free(e)
 		}
 		return true
 	}, &quick.Config{MaxCount: 50})
@@ -133,12 +225,29 @@ func TestHeapPropertyRandomized(t *testing.T) {
 }
 
 func BenchmarkScheduleAndPop(b *testing.B) {
+	b.ReportAllocs()
 	var q Queue
 	r := rand.New(rand.NewSource(1))
+	now := int64(0)
 	for i := 0; i < b.N; i++ {
-		q.Schedule(int64(r.Intn(1<<20)), nil)
+		q.Schedule(now+int64(r.Intn(512)), nil)
 		if q.Len() > 1024 {
-			q.Pop()
+			e := q.Pop()
+			now = e.Time
+			q.Free(e)
 		}
+	}
+}
+
+// BenchmarkLocalSchedulePop models the kernel's dominant pattern: one event
+// a single byte-time ahead of a monotonically advancing clock.
+func BenchmarkLocalSchedulePop(b *testing.B) {
+	b.ReportAllocs()
+	var q Queue
+	q.Schedule(0, nil)
+	for i := 0; i < b.N; i++ {
+		e := q.Pop()
+		q.Schedule(e.Time+1, nil)
+		q.Free(e)
 	}
 }

@@ -1,0 +1,139 @@
+// Package heapref preserves the original binary min-heap pending-event set
+// as a test-only reference implementation.  The live queue
+// (internal/eventq) is a hierarchical timing wheel; the property tests
+// drive both structures with identical random schedule/cancel sequences and
+// assert identical pop order, which pins the wheel to the (time, sequence)
+// total-order contract the heap defined.
+//
+// Nothing outside eventq's tests may import this package.
+package heapref
+
+// Event is a scheduled callback.
+type Event struct {
+	// Time is the simulation time at which the event fires, in byte-times.
+	Time int64
+	// Fire is invoked when the event is dispatched.
+	Fire func()
+
+	seq      uint64
+	index    int // position in the heap, -1 if not queued
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a pending-event set ordered by (time, sequence number).
+// The zero value is ready to use.
+type Queue struct {
+	heap []*Event
+	seq  uint64
+}
+
+// Len returns the number of scheduled (non-canceled) events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule adds an event firing at time t and returns a handle that can be
+// used to cancel it.
+func (q *Queue) Schedule(t int64, fire func()) *Event {
+	q.seq++
+	e := &Event{Time: t, Fire: fire, seq: q.seq}
+	q.push(e)
+	return e
+}
+
+// Cancel removes the event from the queue.  Canceling an event that has
+// already fired or been canceled is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		e.markCanceled()
+		return
+	}
+	e.canceled = true
+	q.remove(e.index)
+}
+
+func (e *Event) markCanceled() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// PeekTime returns the firing time of the earliest event.
+// It panics if the queue is empty.
+func (q *Queue) PeekTime() int64 {
+	return q.heap[0].Time
+}
+
+// Pop removes and returns the earliest event.
+// It panics if the queue is empty.
+func (q *Queue) Pop() *Event {
+	e := q.heap[0]
+	q.remove(0)
+	return e
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+}
+
+func (q *Queue) remove(i int) {
+	n := len(q.heap) - 1
+	removed := q.heap[i]
+	if i != n {
+		q.swap(i, n)
+	}
+	q.heap[n] = nil
+	q.heap = q.heap[:n]
+	if i != n {
+		q.down(i)
+		q.up(i)
+	}
+	removed.index = -1
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		small := left
+		if right := left + 1; right < n && q.less(right, left) {
+			small = right
+		}
+		if !q.less(small, i) {
+			return
+		}
+		q.swap(i, small)
+		i = small
+	}
+}

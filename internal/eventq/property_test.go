@@ -1,0 +1,123 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+
+	"wormlan/internal/eventq/heapref"
+)
+
+// TestWheelMatchesHeapReference drives the timing wheel and the original
+// binary heap (internal/eventq/heapref) with an identical random sequence
+// of 10^5 schedule/cancel/pop operations and asserts identical pop order —
+// including FIFO order among same-timestamp events, which is the kernel's
+// determinism contract.  Operation ids travel in the Fire closure so the
+// comparison identifies individual events, not just times.
+func TestWheelMatchesHeapReference(t *testing.T) {
+	const ops = 100_000
+	for _, seed := range []int64{1, 2, 1996} {
+		r := rand.New(rand.NewSource(seed))
+		var wheel Queue
+		var heap heapref.Queue
+		var wheelOrder, heapOrder []int
+		handles := make([]Handle, 0, ops)
+		refs := make([]*heapref.Event, 0, ops)
+		now := int64(0)
+		for i := 0; i < ops; i++ {
+			switch op := r.Intn(10); {
+			case op < 6 || wheel.Len() == 0:
+				// Mostly near-future times with occasional far outliers, and
+				// a deliberately small range so same-timestamp collisions are
+				// common.
+				d := int64(r.Intn(64))
+				if op == 0 {
+					d = int64(r.Intn(1 << 20))
+				}
+				id := i
+				handles = append(handles, wheel.Schedule(now+d, func() { wheelOrder = append(wheelOrder, id) }))
+				refs = append(refs, heap.Schedule(now+d, func() { heapOrder = append(heapOrder, id) }))
+			case op < 8 && len(handles) > 0:
+				j := r.Intn(len(handles))
+				wheel.Cancel(handles[j])
+				heap.Cancel(refs[j])
+			default:
+				if wt, ht := wheel.PeekTime(), heap.PeekTime(); wt != ht {
+					t.Fatalf("seed %d op %d: PeekTime wheel=%d heap=%d", seed, i, wt, ht)
+				}
+				we, he := wheel.Pop(), heap.Pop()
+				now = we.Time
+				we.Fire()
+				he.Fire()
+				wheel.Free(we)
+			}
+		}
+		for wheel.Len() > 0 {
+			we := wheel.Pop()
+			we.Fire()
+			wheel.Free(we)
+			heap.Pop().Fire()
+		}
+		if heap.Len() != 0 {
+			t.Fatalf("seed %d: heap has %d events left after wheel drained", seed, heap.Len())
+		}
+		if len(wheelOrder) != len(heapOrder) {
+			t.Fatalf("seed %d: popped %d events from wheel, %d from heap", seed, len(wheelOrder), len(heapOrder))
+		}
+		for i := range wheelOrder {
+			if wheelOrder[i] != heapOrder[i] {
+				t.Fatalf("seed %d: pop %d: wheel fired event %d, heap fired event %d",
+					seed, i, wheelOrder[i], heapOrder[i])
+			}
+		}
+	}
+}
+
+// FuzzSameTimestampFIFO feeds arbitrary byte strings as operation tapes:
+// each byte either schedules at one of a handful of timestamps (forcing
+// heavy same-timestamp collisions) or pops.  Both implementations must
+// fire events in exactly the same order.
+func FuzzSameTimestampFIFO(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 0xFF, 0xFF, 1, 1, 0xFF})
+	f.Add([]byte{7, 7, 7, 0xFF, 7, 7, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0, 4, 0xFF, 4, 0, 0xFF, 2, 2, 2, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var wheel Queue
+		var heap heapref.Queue
+		var wheelOrder, heapOrder []int
+		now := int64(0)
+		for i, b := range tape {
+			if b == 0xFF && wheel.Len() > 0 {
+				we := wheel.Pop()
+				now = we.Time
+				we.Fire()
+				heap.Pop().Fire()
+				wheel.Free(we)
+				continue
+			}
+			// Map the byte onto 8 timestamps near now (same-time pileups)
+			// and one per-level far time (cascade boundaries).
+			d := int64(b & 7)
+			if b&8 != 0 {
+				d = int64(1) << (8 * uint(b&7))
+			}
+			id := i
+			wheel.Schedule(now+d, func() { wheelOrder = append(wheelOrder, id) })
+			heap.Schedule(now+d, func() { heapOrder = append(heapOrder, id) })
+		}
+		for wheel.Len() > 0 {
+			we := wheel.Pop()
+			we.Fire()
+			wheel.Free(we)
+			heap.Pop().Fire()
+		}
+		if len(wheelOrder) != len(heapOrder) {
+			t.Fatalf("wheel fired %d events, heap fired %d", len(wheelOrder), len(heapOrder))
+		}
+		for i := range wheelOrder {
+			if wheelOrder[i] != heapOrder[i] {
+				t.Fatalf("pop %d: wheel fired event %d, heap fired event %d", i, wheelOrder[i], heapOrder[i])
+			}
+		}
+	})
+}

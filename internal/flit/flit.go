@@ -201,7 +201,16 @@ type Stream struct {
 // NewStream returns a flit stream for the worm carrying the given header
 // bytes, followed by the worm's payload and a tail flit.
 func NewStream(w *Worm, header []byte) *Stream {
-	return &Stream{W: w, header: header, payload: w.PayloadLen}
+	s := new(Stream)
+	s.Reset(w, header)
+	return s
+}
+
+// Reset reinitializes the stream in place for the given worm and header,
+// so a long-lived Stream (e.g. one embedded in a host interface) can be
+// reused across worms without allocating.
+func (s *Stream) Reset(w *Worm, header []byte) {
+	*s = Stream{W: w, header: header, payload: w.PayloadLen}
 }
 
 // Next returns the next flit of the stream.  ok is false when the stream is
@@ -227,6 +236,29 @@ func (s *Stream) Next() (f Flit, ok bool) {
 // Started reports whether the stream has emitted at least one flit — i.e.
 // whether aborting it requires a terminating tail on the wire.
 func (s *Stream) Started() bool { return s.sent > 0 }
+
+// PayloadRun returns the number of payload flits the stream will emit
+// before its next non-payload flit: the length of the pure-payload prefix
+// of its remaining output.  Zero when the next flit is a header byte or
+// the tail.  Worm fast-forward (network.Fabric.Skip) uses it to bound how
+// many ticks of this stream can be advanced in one step.
+func (s *Stream) PayloadRun() int {
+	if s.done || s.hi < len(s.header) {
+		return 0
+	}
+	return s.payload
+}
+
+// Advance emits n payload flits in one step, as if Next had been called n
+// times during a pure-payload run.  The caller must ensure n <=
+// PayloadRun(); every skipped flit is Flit{W: s.W, Kind: Payload}.
+func (s *Stream) Advance(n int) {
+	if n > s.payload {
+		panic(fmt.Sprintf("flit: Advance(%d) beyond payload run %d of worm %d", n, s.payload, s.W.ID))
+	}
+	s.payload -= n
+	s.sent += n
+}
 
 // Remaining returns how many flits the stream will still produce.
 func (s *Stream) Remaining() int {
@@ -258,6 +290,37 @@ func (s *Stream) CanSend(from *Worm) bool {
 		return from.RxDone
 	}
 }
+
+// WormPool is a free-list of Worm structs for traffic layers that inject
+// and retire worms at high rate.  It is a plain slice, not a sync.Pool:
+// reuse order is deterministic and nothing is dropped by the garbage
+// collector, so pooling cannot perturb a replayed run.
+//
+// Ownership rules (DESIGN.md §12): the fabric never takes ownership of a
+// worm — only the layer that allocated (or Got) a worm may Put it back,
+// and only once the worm is fully retired: delivered (or abandoned) at
+// every destination, not the PaceFrom source of any live cut-through
+// forward, and never in a run where a fault may have touched it (the
+// fabric's drop accounting is keyed by worm pointer, so recycling a
+// possibly-dropped worm would corrupt WormsDropped).
+type WormPool struct {
+	free []*Worm
+}
+
+// Get returns a zeroed worm, reusing a retired one when available.
+func (p *WormPool) Get() *Worm {
+	if n := len(p.free); n > 0 {
+		w := p.free[n-1]
+		p.free = p.free[:n-1]
+		*w = Worm{}
+		return w
+	}
+	//wormlint:alloc pool miss: the worm joins the free-list when retired
+	return new(Worm)
+}
+
+// Put retires a worm to the pool.  See the ownership rules on WormPool.
+func (p *WormPool) Put(w *Worm) { p.free = append(p.free, w) }
 
 // Reassembler collects the flits of one incoming worm at a host interface
 // and reports completion.  It tolerates fragments (the interrupted-
@@ -301,6 +364,16 @@ func (r *Reassembler) Worm() *Worm { return r.w }
 
 // PayloadBytes returns how many payload flits have arrived so far.
 func (r *Reassembler) PayloadBytes() int { return r.payload }
+
+// AdvancePayload records n payload arrivals in one step, as if Feed had
+// been called n times with clean payload flits of the current worm.  Used
+// by worm fast-forward; the reassembler must already have a worm.
+func (r *Reassembler) AdvancePayload(n int) {
+	if r.w == nil {
+		panic("flit: AdvancePayload on idle reassembler")
+	}
+	r.payload += n
+}
 
 // Complete reports whether every payload byte of the worm has arrived.
 func (r *Reassembler) Complete() bool {

@@ -10,7 +10,8 @@
 // after-the-fact equivalence testing can prove its absence.  wormlint
 // makes the contract machine-checked.
 //
-// Four analyzers run over the deterministic packages (see Scope):
+// Five analyzers run; the first four over the deterministic packages (see
+// Scope), the fifth over the zero-alloc packages:
 //
 //   - maporder: flags `for range` over map types unless the loop is a
 //     pure key-collect (append keys to a slice, to be sorted) or carries
@@ -28,6 +29,11 @@
 //     statements, channel operations, and select have no place in it.
 //     Concurrency belongs to internal/sweep, which runs whole
 //     simulations in parallel, never one simulation concurrently.
+//   - hotalloc: guards the zero-alloc discipline
+//     (network.TestDeliveredWormZeroAlloc) in the hot-path packages:
+//     per-call heap allocations — make/new, escaping composite literals,
+//     append growth on slices born empty in the function — must sit in a
+//     constructor or carry a `//wormlint:alloc <justification>` comment.
 //
 // The suite is stdlib-only (go/ast + go/types); it deliberately does not
 // depend on golang.org/x/tools so the repo stays dependency-free.
@@ -65,6 +71,7 @@ type Pass struct {
 	Report    func(Diagnostic)
 
 	ordered map[*ast.File]orderedIndex
+	alloc   map[*ast.File]orderedIndex
 }
 
 // A Diagnostic is one finding, positioned for file:line:col display.
@@ -81,7 +88,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers is the full wormlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, SeedDiscipline, NoGoroutine}
+	return []*Analyzer{MapOrder, WallClock, SeedDiscipline, NoGoroutine, HotAlloc}
 }
 
 // Lookup returns the analyzer with the given name, or nil.

@@ -18,6 +18,10 @@ func TestNoGoroutineGolden(t *testing.T) {
 	runAnalyzers(t, "a/internal/eventq", NoGoroutine)
 }
 
+func TestHotAllocGolden(t *testing.T) {
+	runAnalyzers(t, "a/internal/network", HotAlloc)
+}
+
 // TestSweepAllowlist runs the ENTIRE suite over a package shaped like the
 // real sweep engine — wall-clock timing, goroutines, channels, math/rand,
 // unordered map walks — and expects zero diagnostics: concurrency and
@@ -54,5 +58,18 @@ func TestScope(t *testing.T) {
 	}
 	if !rngScope("wormlan/internal/rng") || rngScope("wormlan/internal/rngx") || rngScope("wormlan/internal/sim") {
 		t.Error("rngScope misclassifies")
+	}
+	for path, want := range map[string]bool{
+		"wormlan/internal/network":  true,
+		"wormlan/internal/flit":     true,
+		"wormlan/internal/des":      true,
+		"wormlan/internal/eventq":   true,
+		"wormlan/internal/adapter":  false,
+		"wormlan/internal/sweep":    false,
+		"wormlan/internal/networkx": false,
+	} {
+		if got := inAllocScope(path); got != want {
+			t.Errorf("inAllocScope(%q) = %v, want %v", path, got, want)
+		}
 	}
 }

@@ -1,0 +1,89 @@
+// Package network exercises the hotalloc analyzer inside the zero-alloc
+// scope: per-call allocations are flagged, amortized reuse and
+// constructors are not, and the //wormlint:alloc escape hatch works at
+// line and function granularity.
+package network
+
+type fabric struct {
+	buf   []int
+	queue []int
+}
+
+func hotMake() []int {
+	return make([]int, 4) // want `make allocates per call`
+}
+
+func hotNew() *fabric {
+	return new(fabric) // want `new allocates per call`
+}
+
+func hotLiteralEscape() *fabric {
+	return &fabric{} // want `composite literal escapes to the heap per call`
+}
+
+func hotSliceLit() []int {
+	return []int{1, 2} // want `slice literal allocates per call`
+}
+
+func hotMapLit() map[int]int {
+	return map[int]int{1: 2} // want `map literal allocates per call`
+}
+
+func hotAppendFresh() []int {
+	var out []int
+	out = append(out, 1) // want `append to a slice born empty in this function re-grows the heap per call`
+	return out
+}
+
+func hotAppendNamedReturn() (out []int) {
+	out = append(out, 1) // want `append to a slice born empty in this function re-grows the heap per call`
+	return out
+}
+
+func hotAppendLit() []int {
+	out := []int{}       // want `slice literal allocates per call`
+	out = append(out, 1) // want `append to a slice born empty in this function re-grows the heap per call`
+	return out
+}
+
+// amortizedAppends shows the three sanctioned append destinations: a
+// struct field, a parameter, and a re-sliced buffer all reuse backing
+// storage and are not flagged.
+func amortizedAppends(f *fabric, in []int) {
+	f.buf = append(f.buf, 1)
+	in = append(in, 2)
+	f.queue = append(f.queue[:0], 3)
+	_ = in
+}
+
+// NewFabric is exempt by the constructor convention.
+func NewFabric() *fabric {
+	return &fabric{buf: make([]int, 0, 8)}
+}
+
+// newScratch is exempt by the constructor convention (unexported form).
+func newScratch() []int {
+	return make([]int, 8)
+}
+
+func justifiedSnapshot() []int {
+	//wormlint:alloc end-of-run snapshot, not on the tick path
+	return make([]int, 4)
+}
+
+//wormlint:alloc diagnostic dump, never on the tick path
+func exemptWholeFunc() map[int][]int {
+	out := make(map[int][]int)
+	out[1] = append(out[1], 2)
+	return out
+}
+
+func bareLineMarker() []int {
+	//wormlint:alloc
+	return make([]int, 4) // want `bare //wormlint:alloc marker`
+}
+
+//wormlint:alloc
+func bareFuncMarker() []int { // want `bare //wormlint:alloc marker`
+	return make([]int, 4) // want `make allocates per call`
+}

@@ -1,0 +1,149 @@
+package network
+
+import "math/bits"
+
+// Active-element tracking for the fabric hot path.
+//
+// The fabric tick historically scanned every link, switch, and host each
+// byte-time; on large topologies almost all of that scan is idle elements
+// whose per-tick phase body is a provable no-op.  Each element class now
+// carries a bitmap of indices with pending work, and Fabric.Tick iterates
+// only set bits, in ascending index order — the same order as the full
+// scan, so determinism is unaffected.
+//
+// The membership rules are chosen so that an element *outside* its set is
+// exactly a no-op under the original full scan:
+//
+//   - link: no flit in flight, reverse-channel ring uniformly GO
+//     (ctrlTrues == 0), and the sender-side delayed STOP view already GO.
+//     Such a link delivers nothing, and its per-tick ctrl read would
+//     assign false over false.
+//   - switch: every input port empty, idle, with no STOP wish, every
+//     live input link's ctrl ring clean, and no bound outputs.  route,
+//     transmit, and the STOP/GO publish phase are all no-ops.
+//   - host: no current stream and an empty inject queue; transmit
+//     returns immediately.  The receive side is passive (driven by link
+//     deliveries), so a receiving-only host needs no bit; the fabric
+//     tracks in-progress receptions in the rxBusy counter instead.
+//
+// Elements re-enter their set at the state transitions that falsify the
+// rules: dlink.send, a STOP written into a clean ring, inPort.receive,
+// and Fabric.Inject.  Fault paths (kill/revive/wipe) maintain the sets
+// explicitly.  A STOP episode keeps its link and downstream switch active
+// for up to one extra propagation delay after traffic ceases — the
+// cooldown during which the original scan was still overwriting stale
+// STOP values in the ring — which preserves byte-identical behaviour even
+// across fabric idle periods that freeze a ring mid-flight.
+type bitset struct {
+	words []uint64
+}
+
+func newBitset(n int) bitset { return bitset{words: make([]uint64, (n+63)/64)} }
+
+func (b *bitset) set(i int)   { b.words[i>>6] |= 1 << uint(i&63) }
+func (b *bitset) clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// forEach calls fn for every set bit in ascending order.  fn may clear the
+// current bit or set bits in *other* bitsets; mutations of later words of
+// the same bitset during iteration are visible, mutations within the word
+// being iterated are not (the word is walked from a snapshot).  All Tick
+// phases only clear the current element's own bit, so the snapshot is safe.
+func (b *bitset) forEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// has reports whether bit i is set.
+func (b *bitset) has(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// empty reports whether no bit is set.
+func (b *bitset) empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// anyAndNot reports whether (b | c) &^ d has any set bit.  Used for the
+// per-switch "any live port occupied" test in the STOP/GO publish phase.
+func anyAndNot(b, c, d *bitset) bool {
+	for wi := range b.words {
+		if (b.words[wi]|c.words[wi])&^d.words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// anyOr reports whether b | c has any set bit.
+func anyOr(b, c *bitset) bool {
+	for wi := range b.words {
+		if b.words[wi]|c.words[wi] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// forEachFrom calls fn for every set bit, starting at bit `start` and
+// wrapping around — the rotated scan order used by switch arbitration.
+// Same snapshot semantics as forEach.
+func (b *bitset) forEachFrom(start int, fn func(i int)) {
+	sw := start >> 6
+	mask := ^uint64(0) << uint(start&63)
+	for wi := sw; wi < len(b.words); wi++ {
+		w := b.words[wi] & mask
+		mask = ^uint64(0)
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	if start == 0 {
+		return
+	}
+	for wi := 0; wi <= sw && wi < len(b.words); wi++ {
+		w := b.words[wi]
+		if wi == sw {
+			w &= (1 << uint(start&63)) - 1
+		}
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+func (f *Fabric) activateLink(l *dlink) {
+	if !l.active {
+		l.active = true
+		f.linkAct.set(l.id)
+	}
+}
+
+func (f *Fabric) deactivateLink(l *dlink) {
+	if l.active {
+		l.active = false
+		f.linkAct.clear(l.id)
+	}
+}
+
+func (f *Fabric) activateSwitch(s *swState) {
+	if !s.active {
+		s.active = true
+		f.swAct.set(int(s.node))
+	}
+}
+
+func (f *Fabric) activateHost(h *hostIf) {
+	if !h.active {
+		h.active = true
+		f.hostAct.set(int(h.node))
+	}
+}

@@ -1,0 +1,98 @@
+package network
+
+// Zero-alloc discipline pin (DESIGN.md §12): delivering a worm through the
+// fabric must not allocate.  The rig below ping-pongs a pooled worm between
+// two hosts — every injection takes a worm from a flit.WormPool and every
+// delivery puts it back — so the measured allocations are exactly the
+// fabric's own steady-state cost: stream start, queueing, routing,
+// arbitration, relay, and reassembly.  TestDeliveredWormZeroAlloc pins that
+// cost at zero; BenchmarkDeliveredWormAllocs reports it (with ns per
+// delivered worm) for the tracked BENCH trajectory and is enforced at zero
+// allocs/op in CI.
+
+import (
+	"testing"
+
+	"wormlan/internal/des"
+	"wormlan/internal/flit"
+	"wormlan/internal/route"
+	"wormlan/internal/topology"
+	"wormlan/internal/updown"
+)
+
+// allocPayload is the payload size used by the pin: long enough that the
+// per-flit relay cost dominates the per-worm setup cost in the benchmark.
+const allocPayload = 256
+
+// newAllocRig builds a two-switch line fabric and returns a step function
+// that injects one pooled worm from the first host to the second and runs
+// the kernel until it is delivered (and its pooled storage reclaimed).
+func newAllocRig(tb testing.TB) func() {
+	tb.Helper()
+	k := des.NewKernel()
+	g := topology.Line(2, 1)
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var pool flit.WormPool
+	delivered := 0
+	f, err := New(k, g, ud, Config{OnDeliver: func(d Delivery) {
+		delivered++
+		pool.Put(d.Worm)
+	}})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hosts := g.Hosts()
+	rt, err := ud.Route(hosts[0], hosts[1])
+	if err != nil {
+		tb.Fatal(err)
+	}
+	hdr, err := route.EncodeUnicast(rt.Ports)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var id int64
+	return func() {
+		id++
+		w := pool.Get()
+		w.ID = id
+		w.Src, w.Dst = hosts[0], hosts[1]
+		w.Mode, w.Group = flit.Unicast, -1
+		w.Header, w.PayloadLen = hdr, allocPayload
+		if err := f.Inject(hosts[0], w); err != nil {
+			panic(err)
+		}
+		if err := k.Run(0); err != nil {
+			panic(err)
+		}
+		if int64(delivered) != id {
+			panic("network: alloc rig worm not delivered")
+		}
+	}
+}
+
+func TestDeliveredWormZeroAlloc(t *testing.T) {
+	step := newAllocRig(t)
+	// Warm the one-time capacities (host queue, port request slices, event
+	// wheel) that legitimately allocate on first use.
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	if avg := testing.AllocsPerRun(100, step); avg != 0 {
+		t.Fatalf("delivering a worm allocated %v times, want 0", avg)
+	}
+}
+
+func BenchmarkDeliveredWormAllocs(b *testing.B) {
+	step := newAllocRig(b)
+	for i := 0; i < 8; i++ {
+		step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

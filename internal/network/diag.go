@@ -49,9 +49,9 @@ func (f *Fabric) StallReport() string {
 		if h == nil {
 			continue
 		}
-		if h.cur != nil || len(h.queue) > 0 {
+		if h.cur != nil || h.qlen() > 0 {
 			fmt.Fprintf(&b, "  host %d: sending=%v queued=%d stopped=%v\n",
-				h.node, h.cur != nil, len(h.queue), h.outLink.stopAtSender)
+				h.node, h.cur != nil, h.qlen(), h.outLink.stopAtSender)
 		}
 	}
 	return b.String()
@@ -81,6 +81,8 @@ func (m portMode) String() string {
 
 // HeldChannels returns, for diagnosis and deadlock tests, the set of
 // (switch, output port) pairs currently bound to each in-flight worm.
+//
+//wormlint:alloc diagnostic snapshot, built on demand, never on the tick path
 func (f *Fabric) HeldChannels() map[*flit.Worm][]struct {
 	Switch topology.NodeID
 	Port   topology.PortID

@@ -209,8 +209,10 @@ func (f *Fabric) killLink(l *dlink) {
 		}
 		l.ctrl[s] = false
 	}
+	l.ctrlTrues = 0
 	l.inFlight = 0
 	l.stopAtSender = false
+	f.deactivateLink(l)
 	// Mark the sender's in-progress worm as lost right away (not only when
 	// its tail hits the black hole): if the link revives mid-worm, the
 	// remaining flits must be recognized downstream as a torn-down stub.
@@ -222,6 +224,10 @@ func (f *Fabric) killLink(l *dlink) {
 		f.dropWorm(h.cur.W)
 	}
 	if s := f.sw[l.dstNode]; s != nil {
+		// The publish phase skips dead-link ports, so the port leaves the
+		// settling set and joins the dead index until the link revives.
+		s.deadIns.set(int(l.dstPort))
+		s.pendIns.clear(int(l.dstPort))
 		if !s.dead {
 			f.poisonInput(&s.in[l.dstPort])
 		}
@@ -238,8 +244,24 @@ func (f *Fabric) reviveLink(l *dlink) {
 		l.occ[s] = false
 		l.ctrl[s] = false
 	}
+	l.ctrlTrues = 0
 	l.inFlight = 0
 	l.stopAtSender = false
+	f.deactivateLink(l)
+	// The downstream switch resumes publishing on this reverse channel next
+	// tick (its port may hold a stale STOP wish to clear), so make sure it
+	// is scheduled.
+	if s := f.sw[l.dstNode]; s != nil {
+		s.deadIns.clear(int(l.dstPort))
+		// The ring was wiped to uniform GO: a port with a standing STOP
+		// wish must publish until the ring matches it (or the wish clears).
+		if s.in[l.dstPort].stopWish {
+			s.pendIns.set(int(l.dstPort))
+		}
+		if !s.dead {
+			f.activateSwitch(s)
+		}
+	}
 }
 
 // poisonInput terminates the worm stub at a switch input port whose
@@ -315,10 +337,20 @@ func (f *Fabric) wipeSwitch(s *swState) {
 			f.dropWorm(fl.W)
 		}
 		in.reset()
-		in.stopWish = false
+		if in.stopWish {
+			in.stopWish = false
+			s.wishPorts--
+		}
 	}
 	for oi := range s.out {
 		s.out[oi].unbind()
+	}
+	s.nBoundOuts = 0
+	// Dead and empty: nothing to tick until a restore puts traffic back
+	// through (arrivals re-activate via inPort.receive).
+	if s.active {
+		s.active = false
+		f.swAct.clear(int(s.node))
 	}
 }
 
@@ -329,13 +361,16 @@ func (in *inPort) reset() {
 	}
 	in.head = 0
 	in.fill = 0
-	in.mode = pmIdle
+	in.setMode(pmIdle)
+	// The fill changed without going through pop: re-evaluate the STOP
+	// wish at the next publish phase.
+	in.sw.dirtyIns.set(in.idx)
 	in.worm = nil
 	in.mcBuf = in.mcBuf[:0]
 	in.mcSkip = 0
 	in.mcExpectPtr = false
-	in.reqOuts = nil
-	in.reqStamps = nil
+	in.reqOuts = in.reqOuts[:0]
+	in.reqStamps = in.reqStamps[:0]
 	in.outs = in.outs[:0]
 }
 

@@ -62,6 +62,8 @@ type HelloEndpoint struct {
 
 // HelloEndpoints lists the receiving end of every directional link, in
 // construction order — the endpoint set a liveness monitor should watch.
+//
+//wormlint:alloc setup-time snapshot for monitor wiring, not on the tick path
 func (f *Fabric) HelloEndpoints() []HelloEndpoint {
 	out := make([]HelloEndpoint, len(f.links))
 	for i, l := range f.links {
@@ -79,6 +81,8 @@ func (f *Fabric) LinkAlive(n topology.NodeID, p topology.PortID) bool {
 }
 
 // EnableHello starts the hello engine.  Call once, before the kernel runs.
+//
+//wormlint:alloc one-time engine setup; sizes the per-link due/rng tables
 func (f *Fabric) EnableHello(cfg HelloConfig) error {
 	if f.hello != nil {
 		return fmt.Errorf("network: hello engine already enabled")
@@ -141,7 +145,7 @@ func (f *Fabric) helloPhase(now des.Time) {
 			f.helloNext(i)
 			continue
 		}
-		slot := int(now % int64(l.delay))
+		slot := f.delaySlots[l.dc]
 		if l.occ[slot] || l.stopAtSender {
 			// Congestion: data owns the wire (or the delayed STOP state
 			// holds the sending end).  The hello waits — this is the

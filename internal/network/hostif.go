@@ -22,8 +22,20 @@ type hostIf struct {
 	f       *Fabric
 	outLink *dlink
 
+	// queue[qhead:] holds the worms waiting for transmission; qhead is
+	// advanced instead of re-slicing so the backing array is reused once
+	// the queue drains (zero-alloc steady state).
 	queue []*flit.Worm
+	qhead int
 	cur   *flit.Stream
+	// stream is cur's backing storage, reused across worms so starting a
+	// transmission does not allocate.
+	stream flit.Stream
+
+	// active mirrors the host's presence in Fabric.hostAct (see active.go);
+	// it covers the transmit side only.  The receive side is accounted by
+	// Fabric.rxBusy.
+	active bool
 
 	rx flit.Reassembler
 
@@ -54,6 +66,9 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 	if err != nil {
 		panic(fmt.Sprintf("network: host %d: %v", h.node, err))
 	}
+	if first {
+		h.f.rxBusy++
+	}
 	h.f.ctr.FlitsDelivered++
 	if first && h.f.Cfg.OnHeadArrival != nil {
 		h.f.Cfg.OnHeadArrival(fl.W, h.node, now)
@@ -77,7 +92,7 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 	w := h.rx.Worm()
 	w.RxDone = true
 	frags := h.rx.Fragments
-	h.rx.Reset()
+	h.resetRx()
 	h.f.ctr.Delivered++
 	h.f.ctr.Fragments += int64(frags - 1)
 	if h.f.rec != nil {
@@ -93,10 +108,19 @@ func (h *hostIf) receive(fl flit.Flit, now des.Time) {
 func (h *hostIf) discardRx(w *flit.Worm, now des.Time, reason *int64) {
 	*reason++
 	h.f.dropWorm(w)
-	h.rx.Reset()
+	h.resetRx()
 	if h.f.Cfg.OnDiscard != nil {
 		h.f.Cfg.OnDiscard(w, h.node, now)
 	}
+}
+
+// resetRx clears the reassembler, keeping the fabric's count of in-progress
+// receptions in step.
+func (h *hostIf) resetRx() {
+	if h.rx.Worm() != nil {
+		h.f.rxBusy--
+	}
+	h.rx.Reset()
 }
 
 func (h *hostIf) transmit(now des.Time) {
@@ -104,15 +128,15 @@ func (h *hostIf) transmit(now des.Time) {
 		return // adapter stalled: transmit side frozen
 	}
 	if h.cur == nil {
-		if len(h.queue) == 0 {
+		if h.qlen() == 0 {
 			return
 		}
-		w := h.queue[0]
-		h.queue = h.queue[1:]
+		w := h.qpop()
 		if w.Injected == 0 {
 			w.Injected = now
 		}
-		h.cur = flit.NewStream(w, w.Header)
+		h.stream.Reset(w, w.Header)
+		h.cur = &h.stream
 		if h.f.rec != nil {
 			h.f.emit(now, trace.EvInject, h.node, -1, w.ID, int64(len(w.Header)+w.PayloadLen))
 		}
@@ -145,6 +169,21 @@ func (h *hostIf) transmit(now des.Time) {
 	if h.cur.Remaining() == 0 {
 		h.cur = nil
 	}
+}
+
+// qlen returns the number of worms waiting in the injection queue.
+func (h *hostIf) qlen() int { return len(h.queue) - h.qhead }
+
+// qpop removes and returns the head of the injection queue.
+func (h *hostIf) qpop() *flit.Worm {
+	w := h.queue[h.qhead]
+	h.queue[h.qhead] = nil
+	h.qhead++
+	if h.qhead == len(h.queue) {
+		h.queue = h.queue[:0]
+		h.qhead = 0
+	}
+	return w
 }
 
 // abortTx terminates the current outgoing stream after its pacing source

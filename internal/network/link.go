@@ -11,8 +11,29 @@ import (
 // pipeline of delay byte-slots; the reverse channel carries the STOP/GO
 // state of the downstream slack buffer with the same propagation delay
 // (Myrinet sends STOP and GO control symbols on the paired return line).
+// The field order groups everything the per-tick hot paths touch — flags,
+// the pipeline slices, the slot class, and the flit counters — at the
+// front, so delivery and send stay within the first cachelines; the
+// identity fields used only for construction, stats snapshots, and traces
+// sit at the end.
 type dlink struct {
-	f     *Fabric
+	f *Fabric
+
+	// active mirrors the link's presence in Fabric.linkAct (see active.go).
+	active bool
+	// dead marks a failed link (explicitly, or because an endpoint switch
+	// crashed).  A dead link black-holes everything sent into it: flits are
+	// counted as dropped rather than delivered, and senders drain their
+	// worms instead of wedging behind a STOP that would never clear.
+	dead bool
+	// stopAtSender is the delayed view of the downstream STOP state, as
+	// currently visible at the sending end.
+	stopAtSender bool
+
+	// dc indexes Fabric.delaySlots: the link's pipeline slot for the
+	// current tick, computed once per distinct delay value per tick
+	// instead of a 64-bit modulo at every use.
+	dc    int
 	delay int
 
 	// pipe[s]/occ[s] hold the flit written at a tick with now%delay == s;
@@ -23,29 +44,32 @@ type dlink struct {
 	// ctrl[s] carries the downstream STOP wish written at slot s, read by
 	// the sender delay ticks later.
 	ctrl []bool
+	// ctrlTrues counts STOP entries currently in the ctrl ring; the link
+	// must keep ticking until the ring is uniformly GO again, or a stale
+	// STOP could be (mis)read after an idle period.
+	ctrlTrues int
+	// inFlight counts occupied pipeline slots, so the fabric knows the
+	// link still holds data even when no slot is due for delivery.
+	inFlight int
 
-	srcNode topology.NodeID
-	srcPort topology.PortID
-	dstNode topology.NodeID
-	dstPort topology.PortID
-
-	// stopAtSender is the delayed view of the downstream STOP state, as
-	// currently visible at the sending end.
-	stopAtSender bool
+	// Exactly one of dstIn/dstHost is non-nil: the resolved delivery target,
+	// cached at construction so the per-flit delivery path skips the
+	// node-indexed lookups.
+	dstIn   *inPort
+	dstHost *hostIf
 
 	// carried counts flits that have crossed this link (utilization);
 	// stalled counts ticks a bound sender was held by STOP backpressure.
 	carried int64
 	stalled int64
-	// inFlight counts occupied pipeline slots, so the fabric knows the
-	// link still holds data even when no slot is due for delivery.
-	inFlight int
 
-	// dead marks a failed link (explicitly, or because an endpoint switch
-	// crashed).  A dead link black-holes everything sent into it: flits are
-	// counted as dropped rather than delivered, and senders drain their
-	// worms instead of wedging behind a STOP that would never clear.
-	dead bool
+	// id is the link's index in Fabric.links (and its active-bitmap bit).
+	id int
+
+	srcNode topology.NodeID
+	srcPort topology.PortID
+	dstNode topology.NodeID
+	dstPort topology.PortID
 }
 
 // send places a flit on the wire at the given tick.  The caller must send
@@ -60,7 +84,7 @@ func (l *dlink) send(now int64, fl flit.Flit) {
 		}
 		return
 	}
-	slot := int(now % int64(l.delay))
+	slot := l.f.delaySlots[l.dc]
 	if l.occ[slot] {
 		panic(fmt.Sprintf("network: double send on link %d.%d->%d.%d at t=%d",
 			l.srcNode, l.srcPort, l.dstNode, l.dstPort, now))
@@ -69,6 +93,7 @@ func (l *dlink) send(now int64, fl flit.Flit) {
 	l.occ[slot] = true
 	l.carried++
 	l.inFlight++
+	l.f.activateLink(l)
 }
 
 // LinkStat reports per-link utilization.
@@ -82,6 +107,8 @@ type LinkStat struct {
 
 // LinkStats returns a snapshot of per-directional-link flit counts, in
 // deterministic construction order.
+//
+//wormlint:alloc end-of-run statistics snapshot, not on the tick path
 func (f *Fabric) LinkStats() []LinkStat {
 	out := make([]LinkStat, len(f.links))
 	for i, l := range f.links {

@@ -24,6 +24,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
@@ -185,14 +186,26 @@ type Fabric struct {
 	// broadcast traffic is injected.
 	UD *updown.Routing
 
-	links  []*dlink
-	sw     []*swState // indexed by NodeID; nil for hosts
-	hosts  []*hostIf  // indexed by NodeID; nil for switches
-	active bool
+	links []*dlink
+	sw    []*swState // indexed by NodeID; nil for hosts
+	hosts []*hostIf  // indexed by NodeID; nil for switches
+
+	// Active-element sets (see active.go): Tick visits only these indices.
+	linkAct bitset // indices into links
+	swAct   bitset // switch NodeIDs
+	hostAct bitset // host NodeIDs (transmit side)
+	rxBusy  int    // hosts with a reception in progress
+
+	// delays holds the distinct link propagation delays; delaySlots[i] is
+	// now % delays[i], refreshed once at the top of each Tick so the per-
+	// link/per-port hot paths index a table instead of dividing.
+	delays     []int64
+	delaySlots []int
 
 	lastMove des.Time // last tick at which any flit moved
 	work     bool     // any activity (movement or held state) this tick
 	moved    bool     // any flit actually moved this tick
+	skipHold des.Time // fast-forward backoff: no Skip attempt before this tick
 	ctr      Counters
 
 	// Failure state (see fault.go).
@@ -237,6 +250,11 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 			s := &swState{node: n.ID, f: f}
 			s.in = make([]inPort, len(n.Ports))
 			s.out = make([]outPort, len(n.Ports))
+			s.routeIns = newBitset(len(n.Ports))
+			s.boundIns = newBitset(len(n.Ports))
+			s.dirtyIns = newBitset(len(n.Ports))
+			s.pendIns = newBitset(len(n.Ports))
+			s.deadIns = newBitset(len(n.Ports))
 			for pi := range n.Ports {
 				s.out[pi].boundIn = -1
 				s.in[pi].f = f
@@ -248,6 +266,26 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 			f.hosts[ni] = &hostIf{node: n.ID, f: f}
 		}
 	}
+	// The per-link pipeline rings and per-port slack rings are carved from
+	// three shared slabs: one allocation each instead of three per link,
+	// and the rings end up cache-adjacent in construction order.
+	var pipeFlits, boolSlots, slackFlits int
+	for ni := range g.Nodes {
+		for _, p := range g.Nodes[ni].Ports {
+			if !p.Wired() {
+				continue
+			}
+			pipeFlits += int(p.Delay)
+			boolSlots += 2 * int(p.Delay)
+			if f.sw[p.Peer] != nil {
+				slackFlits += f.Cfg.StopMark + 2*int(p.Delay)
+			}
+		}
+	}
+	pipeSlab := make([]flit.Flit, pipeFlits)
+	boolSlab := make([]bool, boolSlots)
+	slackSlab := make([]flit.Flit, slackFlits)
+
 	for ni := range g.Nodes {
 		n := &g.Nodes[ni]
 		for pi, p := range n.Ports {
@@ -256,13 +294,26 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 			}
 			l := &dlink{
 				f:       f,
+				id:      len(f.links),
 				delay:   int(p.Delay),
 				srcNode: n.ID, srcPort: topology.PortID(pi),
 				dstNode: p.Peer, dstPort: p.PeerPort,
 			}
-			l.pipe = make([]flit.Flit, l.delay)
-			l.occ = make([]bool, l.delay)
-			l.ctrl = make([]bool, l.delay)
+			l.pipe, pipeSlab = pipeSlab[:l.delay:l.delay], pipeSlab[l.delay:]
+			l.occ, boolSlab = boolSlab[:l.delay:l.delay], boolSlab[l.delay:]
+			l.ctrl, boolSlab = boolSlab[:l.delay:l.delay], boolSlab[l.delay:]
+			l.dc = -1
+			for i, d := range f.delays {
+				if d == int64(l.delay) {
+					l.dc = i
+					break
+				}
+			}
+			if l.dc < 0 {
+				l.dc = len(f.delays)
+				f.delays = append(f.delays, int64(l.delay))
+				f.delaySlots = append(f.delaySlots, 0)
+			}
 			f.links = append(f.links, l)
 			if s := f.sw[ni]; s != nil {
 				s.out[pi].link = l
@@ -274,10 +325,18 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 				in := &s.in[p.PeerPort]
 				in.inLink = l
 				in.cap = f.Cfg.StopMark + 2*l.delay
-				in.slack = make([]flit.Flit, in.cap)
+				in.slack, slackSlab = slackSlab[:in.cap:in.cap], slackSlab[in.cap:]
+				in.stopMark = f.Cfg.StopMark
+				in.goMark = f.Cfg.GoMark
+				l.dstIn = in
+			} else {
+				l.dstHost = f.hosts[p.Peer]
 			}
 		}
 	}
+	f.linkAct = newBitset(len(f.links))
+	f.swAct = newBitset(len(g.Nodes))
+	f.hostAct = newBitset(len(g.Nodes))
 	return f, nil
 }
 
@@ -302,6 +361,7 @@ func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
 	w.Epoch = f.epoch
 	h.queue = append(h.queue, w)
 	f.ctr.Injected++
+	f.activateHost(h)
 	f.activate()
 	return nil
 }
@@ -310,7 +370,7 @@ func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
 // host interface.
 func (f *Fabric) QueueLen(host topology.NodeID) int {
 	h := f.hosts[host]
-	n := len(h.queue)
+	n := h.qlen()
 	if h.cur != nil {
 		n++
 	}
@@ -320,7 +380,7 @@ func (f *Fabric) QueueLen(host topology.NodeID) int {
 // Busy reports whether the host interface is currently transmitting.
 func (f *Fabric) Busy(host topology.NodeID) bool {
 	h := f.hosts[host]
-	return h.cur != nil || len(h.queue) > 0
+	return h.cur != nil || h.qlen() > 0
 }
 
 func (f *Fabric) activate() {
@@ -329,17 +389,26 @@ func (f *Fabric) activate() {
 }
 
 // Tick advances the fabric one byte-time.  It implements des.Ticker.
+//
+// Each phase visits only the elements in its active set (see active.go);
+// an element outside its set is provably a no-op under the full scan this
+// loop replaces, so the visit order — ascending index — and every
+// observable effect are identical to scanning everything.
 func (f *Fabric) Tick(now des.Time) bool {
 	f.work = false
 	f.moved = false
+	for i, d := range f.delays {
+		f.delaySlots[i] = int(now % d)
+	}
 
 	// Phase 1: links deliver the flits and control state that have been in
 	// flight for one full propagation delay.
-	for _, l := range f.links {
+	f.linkAct.forEach(func(li int) {
+		l := f.links[li]
 		if l.dead {
-			continue // a dead link delivers nothing, in either direction
+			return // a dead link delivers nothing, in either direction
 		}
-		slot := int(now % int64(l.delay))
+		slot := f.delaySlots[l.dc]
 		l.stopAtSender = l.ctrl[slot]
 		if l.occ[slot] {
 			f.work = true
@@ -353,99 +422,144 @@ func (f *Fabric) Tick(now des.Time) bool {
 				// Control symbol: consumed here, never enters slack buffers
 				// or reassemblers.
 				f.helloRecv(l, now)
-			case f.sw[l.dstNode] != nil:
-				f.sw[l.dstNode].in[l.dstPort].receive(fl)
+			case l.dstIn != nil:
+				l.dstIn.receive(fl)
 			default:
-				f.hosts[l.dstNode].receive(fl, now)
+				l.dstHost.receive(fl, now)
 			}
 		}
 		if l.inFlight > 0 {
 			f.work = true
+		} else if l.ctrlTrues == 0 && !l.stopAtSender {
+			// Empty pipe, clean reverse channel: every future tick is a
+			// no-op until the next send or STOP write re-activates.
+			l.active = false
+			f.linkAct.clear(li)
 		}
-	}
+	})
 
 	// Phase 2: switches route worm heads and arbitrate output ports.
-	for _, s := range f.sw {
-		if s == nil || s.dead {
-			continue
+	f.swAct.forEach(func(ni int) {
+		if s := f.sw[ni]; !s.dead {
+			s.route(now)
 		}
-		s.route(now)
-	}
+	})
 
 	// Phase 3: bound outputs and host interfaces transmit one flit each.
-	for _, s := range f.sw {
-		if s == nil || s.dead {
-			continue
+	f.swAct.forEach(func(ni int) {
+		if s := f.sw[ni]; !s.dead {
+			s.transmit(now)
 		}
-		s.transmit(now)
-	}
-	for _, h := range f.hosts {
-		if h == nil {
-			continue
-		}
+	})
+	f.hostAct.forEach(func(ni int) {
+		h := f.hosts[ni]
 		h.transmit(now)
-	}
+		if h.cur != nil || h.qlen() > 0 {
+			f.work = true
+		} else {
+			// Nothing queued: transmit stays a no-op until the next Inject.
+			h.active = false
+			f.hostAct.clear(ni)
+		}
+	})
 
 	// Phase 3b: due liveness hellos go out on links the data phases left
 	// free this tick (no-op unless EnableHello was called).
 	f.helloPhase(now)
 
 	// Phase 4: input ports publish STOP/GO onto the reverse channels.
-	for _, s := range f.sw {
-		if s == nil || s.dead {
-			continue
+	//
+	// Only two kinds of port can differ from a no-op under the full scan:
+	// one whose slack fill crossed a STOP/GO threshold since the last
+	// publish (dirtyIns — the wish is a pure function of fill with
+	// hysteresis, so any other fill history cannot flip it) and one whose
+	// reverse ring is still settling toward the current wish (pendIns —
+	// the conditional ctrl write is a no-op once the ring is uniform).
+	// Everything else is summarized by the aggregate indexes.
+	f.swAct.forEach(func(ni int) {
+		s := f.sw[ni]
+		if s.dead {
+			return
 		}
-		for pi := range s.in {
-			in := &s.in[pi]
-			if in.inLink == nil || in.inLink.dead {
-				continue
-			}
-			fill := in.fill
-			switch {
-			case fill >= f.Cfg.StopMark:
-				if !in.stopWish {
-					in.stopWish = true
-					if f.rec != nil {
-						f.emit(now, trace.EvStop, s.node, pi, in.wormID(), int64(fill))
+		stopMark, goMark := f.Cfg.StopMark, f.Cfg.GoMark
+		for wi := range s.dirtyIns.words {
+			w := s.dirtyIns.words[wi] | s.pendIns.words[wi]
+			s.dirtyIns.words[wi] = 0
+			for w != 0 {
+				pi := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				in := &s.in[pi]
+				l := in.inLink
+				if l == nil || l.dead {
+					continue
+				}
+				fill := in.fill
+				switch {
+				case fill >= stopMark:
+					if !in.stopWish {
+						in.stopWish = true
+						s.wishPorts++
+						if f.rec != nil {
+							f.emit(now, trace.EvStop, s.node, pi, in.wormID(), int64(fill))
+						}
+					}
+				case fill <= goMark:
+					if in.stopWish {
+						in.stopWish = false
+						s.wishPorts--
+						if f.rec != nil {
+							f.emit(now, trace.EvGo, s.node, pi, in.wormID(), int64(fill))
+						}
 					}
 				}
-			case fill <= f.Cfg.GoMark:
-				if in.stopWish {
-					in.stopWish = false
-					if f.rec != nil {
-						f.emit(now, trace.EvGo, s.node, pi, in.wormID(), int64(fill))
+				slot := f.delaySlots[l.dc]
+				if l.ctrl[slot] != in.stopWish {
+					l.ctrl[slot] = in.stopWish
+					if in.stopWish {
+						l.ctrlTrues++
+						f.activateLink(l)
+					} else {
+						l.ctrlTrues--
 					}
 				}
-			}
-			in.inLink.ctrl[int(now%int64(in.inLink.delay))] = in.stopWish
-			if fill > 0 || in.mode != pmIdle {
-				f.work = true
-			}
-		}
-		bound := 0
-		for oi := range s.out {
-			if s.out[oi].boundIn >= 0 {
-				f.work = true
-				bound++
+				if (in.stopWish && l.ctrlTrues == l.delay) ||
+					(!in.stopWish && l.ctrlTrues == 0) {
+					s.pendIns.clear(pi)
+				} else {
+					s.pendIns.set(pi)
+				}
 			}
 		}
-		if f.swBound != nil && bound > 0 {
-			f.swBound[s.node] += int64(bound)
-			if bound > f.swPeak[s.node] {
-				f.swPeak[s.node] = bound
+		// Work and liveness, from the aggregates.  Equivalences with the
+		// full scan: routeIns|boundIns is exactly "fill > 0 or mode not
+		// idle" (a flush/drop port stays in routeIns until it re-idles);
+		// wishPorts covers both standing STOP wishes and rings pinned
+		// uniformly-STOP (old criterion ctrlTrues > 0 with a true wish);
+		// pendIns covers settling rings (ctrlTrues > 0 with a false wish).
+		if anyAndNot(&s.routeIns, &s.boundIns, &s.deadIns) {
+			f.work = true
+		}
+		busy := s.wishPorts > 0 || !s.pendIns.empty() || anyOr(&s.routeIns, &s.boundIns)
+		if s.nBoundOuts > 0 {
+			f.work = true
+			busy = true
+			if f.swBound != nil {
+				f.swBound[s.node] += int64(s.nBoundOuts)
+				if s.nBoundOuts > f.swPeak[s.node] {
+					f.swPeak[s.node] = s.nBoundOuts
+				}
 			}
 		}
-	}
+		if !busy {
+			s.active = false
+			f.swAct.clear(ni)
+		}
+	})
 	if f.swBound != nil {
 		f.mticks++
 	}
-	for _, h := range f.hosts {
-		if h == nil {
-			continue
-		}
-		if h.cur != nil || len(h.queue) > 0 || h.rx.Worm() != nil {
-			f.work = true
-		}
+	if f.rxBusy > 0 {
+		f.work = true
 	}
 	if f.moved {
 		f.lastMove = now
@@ -475,7 +589,7 @@ func (f *Fabric) anythingHeld() bool {
 		}
 	}
 	for _, h := range f.hosts {
-		if h != nil && (h.cur != nil || len(h.queue) > 0) {
+		if h != nil && (h.cur != nil || h.qlen() > 0) {
 			return true
 		}
 	}

@@ -28,6 +28,8 @@ func (in *inPort) wormID() int64 {
 // integral (SwitchStat.BoundTicks and Ticks) is sampled only while
 // Config.Metrics is set and reads zero otherwise.  Order is the
 // deterministic link construction order and node-ID order.
+//
+//wormlint:alloc end-of-run metrics snapshot, not on the tick path
 func (f *Fabric) Metrics() *trace.Metrics {
 	m := &trace.Metrics{Ticks: f.mticks}
 	m.Channels = make([]trace.ChannelStat, len(f.links))

@@ -58,6 +58,10 @@ type inPort struct {
 	fill  int
 	cap   int
 
+	// stopMark/goMark cache Config.StopMark/GoMark: receive and pop compare
+	// fill against them on every flit, and a config chase there is hot.
+	stopMark, goMark int
+
 	stopWish bool
 	inLink   *dlink
 
@@ -79,15 +83,39 @@ type inPort struct {
 	reqOuts   []int
 	reqStamps [][]byte
 	outs      []int
+
+	// ou caches &sw.out[outs[0]] while the port is pmBoundUni: the unicast
+	// relay reads it once per tick, and the outs[0] double-index is hot.
+	// Only meaningful in pmBoundUni; left stale otherwise.
+	ou *outPort
 }
 
 func (in *inPort) receive(fl flit.Flit) {
+	// The switch can only be inactive if every port is empty and idle, so
+	// an arrival at a non-empty or non-idle port never needs the wakeup —
+	// skipping it avoids a load of the (cold) swState header per flit.
+	if in.fill == 0 && in.mode == pmIdle {
+		in.f.activateSwitch(in.sw)
+	}
 	if in.fill >= in.cap {
 		panic(fmt.Sprintf("network: slack overflow at switch %d port %d (cap %d): STOP/GO sizing bug",
 			in.sw.node, in.idx, in.cap))
 	}
-	in.slack[(in.head+in.fill)%in.cap] = fl
+	i := in.head + in.fill
+	if i >= in.cap {
+		i -= in.cap
+	}
+	in.slack[i] = fl
 	in.fill++
+	// The STOP wish can only flip to set when the fill climbs to the STOP
+	// mark while the wish is clear; any other fill change leaves the publish
+	// phase a provable no-op, so the port is not marked dirty for it.
+	if in.fill >= in.stopMark && !in.stopWish {
+		in.sw.dirtyIns.set(in.idx)
+	}
+	if in.mode == pmIdle {
+		in.sw.routeIns.set(in.idx)
+	}
 }
 
 func (in *inPort) peek() flit.Flit { return in.slack[in.head] }
@@ -95,9 +123,43 @@ func (in *inPort) peek() flit.Flit { return in.slack[in.head] }
 func (in *inPort) pop() flit.Flit {
 	fl := in.slack[in.head]
 	in.slack[in.head] = flit.Flit{}
-	in.head = (in.head + 1) % in.cap
+	in.head++
+	if in.head == in.cap {
+		in.head = 0
+	}
 	in.fill--
+	// Mirror of receive: only a drain to the GO mark with a standing STOP
+	// wish can flip the wish at the next publish.
+	if in.fill <= in.goMark && in.stopWish {
+		in.sw.dirtyIns.set(in.idx)
+	}
+	if in.fill == 0 && in.mode == pmIdle {
+		in.sw.routeIns.clear(in.idx)
+	}
 	return fl
+}
+
+// setMode transitions the port's routing state, keeping the switch's
+// route/transmit port masks in step.  Every mode assignment after
+// construction must go through here.
+func (in *inPort) setMode(m portMode) {
+	in.mode = m
+	sw := in.sw
+	switch {
+	case m == pmBoundUni || m == pmBoundMC:
+		sw.routeIns.clear(in.idx)
+		sw.boundIns.set(in.idx)
+	case m == pmIdle:
+		sw.boundIns.clear(in.idx)
+		if in.fill > 0 {
+			sw.routeIns.set(in.idx)
+		} else {
+			sw.routeIns.clear(in.idx)
+		}
+	default:
+		sw.boundIns.clear(in.idx)
+		sw.routeIns.set(in.idx)
+	}
 }
 
 // outPort is a crossbar output.
@@ -145,9 +207,36 @@ type swState struct {
 	in   []inPort
 	out  []outPort
 
+	// active mirrors the switch's presence in Fabric.swAct (see active.go).
+	active bool
+
 	// dead marks a crashed switch: it routes nothing, transmits nothing,
 	// and all its port state was wiped when it went down.
 	dead bool
+
+	// Incremental port-state indexes (see DESIGN.md §12).  routeIns holds
+	// ports where routeInput would do work (a buffered header, or a worm in
+	// a pre-bound routing state); boundIns holds ports streaming through
+	// the crossbar (pmBoundUni/pmBoundMC).  Both are maintained by
+	// setMode/receive/pop so route and transmit touch only live ports.
+	routeIns bitset
+	boundIns bitset
+	// dirtyIns marks ports whose STOP wish may need to flip at the next
+	// publish phase: receive/pop set it only when the fill crosses the
+	// STOP mark (wish clear) or the GO mark (wish set) — any other fill
+	// change provably leaves the wish alone, so streaming ports stay out
+	// of the publish scan entirely.  pendIns marks ports whose reverse-
+	// channel ring is not yet uniformly equal to the current wish and
+	// still needs per-tick writes.  deadIns marks ports whose arrival
+	// link is dead (excluded from the fabric work OR, as in the full-scan
+	// code).
+	dirtyIns bitset
+	pendIns  bitset
+	deadIns  bitset
+	// wishPorts counts ports with stopWish set; nBoundOuts counts bound
+	// crossbar outputs.  Both replace per-tick port scans in phase 4.
+	wishPorts  int
+	nBoundOuts int
 }
 
 // route advances the head-of-worm state machines of every input port:
@@ -158,15 +247,17 @@ func (s *swState) route(now des.Time) {
 		return
 	}
 	// Rotating scan order provides round-robin fairness between inputs
-	// contending for the same outputs.
-	start := int(now % int64(n))
-	for k := 0; k < n; k++ {
-		in := &s.in[(start+k)%n]
-		if in.inLink == nil {
-			continue // unwired port
-		}
-		s.routeInput(in, now)
+	// contending for the same outputs.  routeIns holds exactly the ports
+	// for which routeInput is not a no-op (bound/idle-empty ports are
+	// excluded), so iterating the mask in rotated order visits the same
+	// ports in the same order as the full rotating scan did.
+	if s.routeIns.empty() {
+		return
 	}
+	start := int(now % int64(n))
+	s.routeIns.forEachFrom(start, func(pi int) {
+		s.routeInput(&s.in[pi], now)
+	})
 }
 
 func (s *swState) routeInput(in *inPort, now des.Time) {
@@ -196,9 +287,9 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 		switch fl.W.Mode {
 		case flit.Unicast:
 			b := in.pop()
-			in.reqOuts = []int{int(b.B)}
-			in.reqStamps = [][]byte{nil}
-			in.mode = pmWait
+			in.reqOuts = append(in.reqOuts[:0], int(b.B))
+			in.reqStamps = append(in.reqStamps[:0], nil)
+			in.setMode(pmWait)
 		case flit.Broadcast:
 			b := in.pop()
 			if b.B == route.BroadcastPort {
@@ -206,17 +297,17 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 				if len(in.reqOuts) == 0 {
 					// Leaf switch whose only connection is the arrival
 					// port: the worm dies here; drain it.
-					in.mode = pmFlush
+					in.setMode(pmFlush)
 					return
 				}
 			} else {
 				// Still on the unicast prefix toward the root.
-				in.reqOuts = []int{int(b.B)}
-				in.reqStamps = [][]byte{nil}
+				in.reqOuts = append(in.reqOuts[:0], int(b.B))
+				in.reqStamps = append(in.reqStamps[:0], nil)
 			}
-			in.mode = pmWait
+			in.setMode(pmWait)
 		case flit.MulticastTree:
-			in.mode = pmCollect
+			in.setMode(pmCollect)
 			in.mcBuf = in.mcBuf[:0]
 			in.mcSkip = 0
 			in.mcExpectPtr = false
@@ -239,7 +330,7 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 		for in.fill > 0 {
 			fl := in.pop()
 			if fl.Kind == flit.Tail {
-				in.mode = pmIdle
+				in.setMode(pmIdle)
 				in.worm = nil
 				break
 			}
@@ -256,7 +347,7 @@ func (s *swState) drainDrop(in *inPort) {
 		fl := in.pop()
 		s.f.ctr.FlitsDropped++
 		if fl.Kind == flit.Tail {
-			in.mode = pmIdle
+			in.setMode(pmIdle)
 			in.worm = nil
 			break
 		}
@@ -277,7 +368,7 @@ func (s *swState) collect(in *inPort) {
 			in.pop()
 			s.f.ctr.FlitsDropped += int64(len(in.mcBuf)) + 1
 			s.f.dropWorm(in.worm)
-			in.mode = pmIdle
+			in.setMode(pmIdle)
 			in.worm = nil
 			in.mcBuf = in.mcBuf[:0]
 			return
@@ -320,7 +411,7 @@ func (s *swState) collect(in *inPort) {
 		in.reqOuts = append(in.reqOuts, int(sp.Port))
 		in.reqStamps = append(in.reqStamps, stamp)
 	}
-	in.mode = pmWait
+	in.setMode(pmWait)
 }
 
 // broadcastBranches returns the replication set for a broadcast worm that
@@ -330,6 +421,8 @@ func (s *swState) collect(in *inPort) {
 // parent is an 'up' link here and is never selected, and the flood
 // terminates at the leaves.  Every host receives the broadcast, including
 // the sender.
+//
+//wormlint:alloc per-broadcast fan-out set; broadcasts are rare control worms outside the zero-alloc pin
 func (s *swState) broadcastBranches(arrival int) (outs []int, stamps [][]byte) {
 	ud := s.f.UD
 	g := s.f.G
@@ -380,7 +473,7 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 		}
 		if len(in.reqOuts) == 0 {
 			s.f.dropWorm(in.worm)
-			in.mode = pmDrop
+			in.setMode(pmDrop)
 			in.blocked = false
 			s.drainDrop(in)
 			return
@@ -421,11 +514,13 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 	for i, oi := range in.reqOuts {
 		s.out[oi].bind(in.idx, in.reqStamps[i])
 	}
+	s.nBoundOuts += len(in.reqOuts)
 	in.outs = append(in.outs[:0], in.reqOuts...)
 	if len(in.outs) == 1 && in.worm.Mode == flit.Unicast {
-		in.mode = pmBoundUni
+		in.ou = &s.out[in.outs[0]]
+		in.setMode(pmBoundUni)
 	} else {
-		in.mode = pmBoundMC
+		in.setMode(pmBoundMC)
 	}
 }
 
@@ -433,10 +528,10 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 // the fabric (SchemeFlushUnicast).
 func (s *swState) flush(in *inPort, now des.Time) {
 	w := in.worm
-	in.mode = pmFlush
+	in.setMode(pmFlush)
 	in.blocked = false
-	in.reqOuts = nil
-	in.reqStamps = nil
+	in.reqOuts = in.reqOuts[:0]
+	in.reqStamps = in.reqStamps[:0]
 	s.f.ctr.Flushed++
 	if s.f.rec != nil {
 		s.f.emit(now, trace.EvFlushed, s.node, in.idx, w.ID, 0)
@@ -448,7 +543,7 @@ func (s *swState) flush(in *inPort, now des.Time) {
 	for in.fill > 0 {
 		fl := in.pop()
 		if fl.Kind == flit.Tail {
-			in.mode = pmIdle
+			in.setMode(pmIdle)
 			in.worm = nil
 			break
 		}
@@ -459,34 +554,39 @@ func (s *swState) flush(in *inPort, now des.Time) {
 // shared payload gated on every branch being ready (the IDLE-fill rule of
 // Section 3), with SchemeInterrupt's fragment/resume logic layered on top.
 func (s *swState) transmit(now des.Time) {
-	for ii := range s.in {
+	// boundIns holds exactly the ports in pmBoundUni/pmBoundMC, in index
+	// order — the same ports the full scan would act on.
+	f := s.f
+	s.boundIns.forEach(func(ii int) {
 		in := &s.in[ii]
+		// boundIns holds only pmBoundUni and pmBoundMC ports.
 		switch in.mode {
 		case pmBoundUni:
-			o := &s.out[in.outs[0]]
+			o := in.ou
 			if o.link.stopAtSender {
 				o.link.stalled++
-				continue
+				return
 			}
 			if in.fill == 0 {
-				continue
+				return
 			}
 			fl := in.pop()
 			o.link.send(now, fl)
-			s.f.moved = true
-			s.f.ctr.FlitsCarried++
+			f.moved = true
+			f.ctr.FlitsCarried++
 			if fl.Kind == flit.Tail {
-				if s.f.rec != nil {
-					s.f.emit(now, trace.EvTailDrained, s.node, in.idx, fl.W.ID, 1)
+				if f.rec != nil {
+					f.emit(now, trace.EvTailDrained, s.node, in.idx, fl.W.ID, 1)
 				}
 				o.unbind()
-				in.mode = pmIdle
+				s.nBoundOuts--
+				in.setMode(pmIdle)
 				in.worm = nil
 			}
 		case pmBoundMC:
 			s.transmitMC(in, now)
 		}
-	}
+	})
 }
 
 func (s *swState) transmitMC(in *inPort, now des.Time) {
@@ -602,7 +702,8 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 		for _, oi := range in.outs {
 			s.out[oi].unbind()
 		}
-		in.mode = pmIdle
+		s.nBoundOuts -= len(in.outs)
+		in.setMode(pmIdle)
 		in.worm = nil
 		in.outs = in.outs[:0]
 	}

@@ -1,0 +1,47 @@
+// Package profiling provides the file-based CPU and allocation profile
+// plumbing shared by the CLI tools (the -cpuprofile/-memprofile flags).
+// The HTTP pprof endpoints (-pprof) serve interactive inspection of a
+// running process; these helpers capture whole-run profiles for offline
+// `go tool pprof` analysis of the simulator hot path.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path.  The returned stop
+// function ends the profile and closes the file; call it exactly once,
+// after the workload finishes.
+func StartCPU(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteAllocs writes the cumulative allocation profile (alloc_space and
+// friends) to path.  A garbage collection runs first so the profile also
+// carries accurate live-heap numbers.
+func WriteAllocs(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("alloc profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("alloc profile: %w", err)
+	}
+	return nil
+}

@@ -172,10 +172,13 @@ type Results struct {
 	// FabricTicks is the active-tick denominator for Switches occupancy.
 	FabricTicks int64 `json:",omitempty"`
 
-	// EventsDispatched / MaxQueueDepth are kernel-level run statistics
-	// (always collected; they cost nothing).
+	// EventsDispatched / MaxQueueDepth / EventsPerTick are kernel-level run
+	// statistics (always collected; they cost nothing).  EventsPerTick is
+	// the ratio of dispatched events to fabric tick passes: ~1.0 when the
+	// byte-time clock dominates, higher when timers and arrivals do.
 	EventsDispatched int64
 	MaxQueueDepth    int
+	EventsPerTick    float64
 
 	// Stalled is set when worms remained frozen in the fabric at the end
 	// of the run — the observable symptom of a deadlock.
@@ -429,6 +432,7 @@ func Run(cfg Config) (*Results, error) {
 	res.EndTime = k.Now()
 	res.EventsDispatched = k.Dispatched()
 	res.MaxQueueDepth = k.MaxQueue()
+	res.EventsPerTick = k.EventsPerTick()
 	if metricsOn {
 		m := fab.Metrics()
 		res.Channels = m.Channels

@@ -175,19 +175,30 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 			Switches: []topology.NodeID{sSrc}}, nil
 	}
 	// BFS over (switch, phase).  Phase false = still allowed to go up.
+	// States index a flat array (node*2 + phase) instead of a map: the
+	// state space is dense and small, and route runs once per injected
+	// worm, so hashing dominated it.
 	type prevHop struct {
 		state routeState
 		port  topology.PortID
 	}
-	prev := make(map[routeState]prevHop)
+	idx := func(s routeState) int {
+		i := int(s.node) * 2
+		if s.down {
+			i++
+		}
+		return i
+	}
+	prev := make([]prevHop, 2*len(g.Nodes))
+	seen := make([]bool, 2*len(g.Nodes))
 	start := routeState{sSrc, false}
-	prev[start] = prevHop{state: routeState{topology.None, false}}
-	queue := []routeState{start}
+	seen[idx(start)] = true
+	queue := make([]routeState, 0, len(g.Nodes))
+	queue = append(queue, start)
 	var goal routeState
 	found := false
-	for len(queue) > 0 && !found {
-		cur := queue[0]
-		queue = queue[1:]
+	for qi := 0; qi < len(queue) && !found; qi++ {
+		cur := queue[qi]
 		for pi, p := range g.Node(cur.node).Ports {
 			if !p.Wired() || g.Node(p.Peer).Kind != topology.Switch {
 				continue
@@ -203,10 +214,11 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 				continue // down->up transition is illegal
 			}
 			next := routeState{p.Peer, cur.down || !up}
-			if _, seen := prev[next]; seen {
+			if seen[idx(next)] {
 				continue
 			}
-			prev[next] = prevHop{state: cur, port: topology.PortID(pi)}
+			seen[idx(next)] = true
+			prev[idx(next)] = prevHop{state: cur, port: topology.PortID(pi)}
 			if p.Peer == sDst {
 				goal = next
 				found = true
@@ -223,7 +235,7 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 	var ports []topology.PortID
 	var sws []topology.NodeID
 	for cur := goal; cur != start; {
-		h := prev[cur]
+		h := prev[idx(cur)]
 		ports = append(ports, h.port)
 		sws = append(sws, h.state.node)
 		cur = h.state
