@@ -5,15 +5,17 @@
 // Usage:
 //
 //	go test -bench BenchmarkDeliveredWormAllocs -benchtime 1x ./internal/network > bench.txt
-//	mcbench -fig 10 > fig10.txt
-//	benchreport -bench bench.txt -fig10 fig10.txt -o BENCH_7.json
+//	for v in 1 2 4; do mcbench -fig 10 -vcs $v >> fig10.txt; done
+//	benchreport -bench bench.txt -fig10 fig10.txt -fig10-vcs 1,2,4 -o BENCH_8.json
 //
-// It parses the `go test -bench` line for ns/op and allocs/op, the
-// mcbench footer (`[fig10: N points (M cached) in Xs]`) for grid
-// throughput, and writes a JSON record comparing both against the
-// embedded pre-PR baseline.  Exit status: 0 on success, 1 if the
-// allocs-per-delivered-worm pin regresses above zero (or an input cannot
-// be parsed), 2 on usage errors.
+// It parses every `BenchmarkDeliveredWormAllocs/vcs=N` line for ns/op and
+// allocs/op, every mcbench footer (`[fig10: N points (M cached) in Xs]`)
+// in order — one per lane count named by -fig10-vcs — and writes a JSON
+// record.  The single-lane fig10 run is compared against the embedded
+// pre-PR baseline; the multi-lane runs have no pre-VC baseline and are
+// recorded as the trajectory's new reference points.  Exit status: 0 on
+// success, 1 if the allocs-per-delivered-worm pin regresses above zero at
+// ANY lane count (or an input cannot be parsed), 2 on usage errors.
 //
 // The baseline constants were measured back-to-back with the optimized
 // build on one machine (seed and PR binaries alternated, single worker,
@@ -29,41 +31,51 @@ import (
 	"os"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 )
 
-// Pre-PR (seed) baseline, measured with `mcbench -fig 10 -parallel 1`,
-// best of three alternated runs.  See BENCHMARKS.md for the trajectory.
+// Pre-PR (issue 7) single-lane baseline, measured with
+// `mcbench -fig 10 -parallel 1`, best of three alternated runs.  See
+// BENCHMARKS.md for the trajectory.
 const (
-	issueNumber         = 7
+	issueNumber         = 8
 	baselineFig10Points = 9
 	baselineFig10Secs   = 10.488
 )
 
+// fig10Entry is one fig10 timing at a given lane count.  The baseline
+// comparison fields are set only on the single-lane entry: the pre-VC
+// fabric had nothing to compare the multi-lane runs against.
+type fig10Entry struct {
+	NumVCs             int     `json:"numVCs"`
+	Points             int     `json:"points"`
+	Seconds            float64 `json:"seconds"`
+	PointsSec          float64 `json:"pointsPerSec"`
+	BaselineSeconds    float64 `json:"baselineSeconds,omitempty"`
+	BaselinePointsSec  float64 `json:"baselinePointsPerSec,omitempty"`
+	Speedup            float64 `json:"speedup,omitempty"`
+	MinAcceptedSpeedup float64 `json:"minAcceptedSpeedup,omitempty"`
+	RoadmapSpeedup     float64 `json:"roadmapSpeedup,omitempty"`
+}
+
+// wormEntry is the delivered-worm hot-path cost at a given lane count.
+type wormEntry struct {
+	NumVCs        int     `json:"numVCs"`
+	NsPerWorm     float64 `json:"nsPerWorm"`
+	AllocsPerWorm float64 `json:"allocsPerWorm"`
+}
+
 // report is the BENCH_<issue>.json schema.
 type report struct {
-	Issue int    `json:"issue"`
-	Date  string `json:"date"`
-
-	Fig10 struct {
-		Points             int     `json:"points"`
-		BaselineSeconds    float64 `json:"baselineSeconds"`
-		Seconds            float64 `json:"seconds"`
-		BaselinePointsSec  float64 `json:"baselinePointsPerSec"`
-		PointsSec          float64 `json:"pointsPerSec"`
-		Speedup            float64 `json:"speedup"`
-		MinAcceptedSpeedup float64 `json:"minAcceptedSpeedup"`
-		RoadmapSpeedup     float64 `json:"roadmapSpeedup"`
-	} `json:"fig10"`
-
-	DeliveredWorm struct {
-		NsPerWorm     float64 `json:"nsPerWorm"`
-		AllocsPerWorm float64 `json:"allocsPerWorm"`
-	} `json:"deliveredWorm"`
+	Issue         int          `json:"issue"`
+	Date          string       `json:"date"`
+	Fig10         []fig10Entry `json:"fig10"`
+	DeliveredWorm []wormEntry  `json:"deliveredWorm"`
 }
 
 var (
-	benchRx = regexp.MustCompile(`(?m)^BenchmarkDeliveredWormAllocs\S*\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?\s+([\d.]+) allocs/op`)
+	benchRx = regexp.MustCompile(`(?m)^BenchmarkDeliveredWormAllocs/vcs=(\d+)\S*\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ B/op)?\s+([\d.]+) allocs/op`)
 	fig10Rx = regexp.MustCompile(`\[fig10: (\d+) points \(\d+ cached\) in ([\d.]+)s\]`)
 )
 
@@ -73,8 +85,9 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
-	benchPath := fs.String("bench", "", "go test -bench output containing BenchmarkDeliveredWormAllocs")
-	fig10Path := fs.String("fig10", "", "mcbench -fig 10 output")
+	benchPath := fs.String("bench", "", "go test -bench output containing BenchmarkDeliveredWormAllocs/vcs=N lines")
+	fig10Path := fs.String("fig10", "", "concatenated mcbench -fig 10 outputs, one per -fig10-vcs entry, in order")
+	fig10VCs := fs.String("fig10-vcs", "1,2,4", "lane counts of the fig10 runs in -fig10, in file order")
 	outPath := fs.String("o", fmt.Sprintf("BENCH_%d.json", issueNumber), "output JSON path")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -82,6 +95,15 @@ func run(args []string) int {
 	if *benchPath == "" || *fig10Path == "" {
 		fmt.Fprintln(os.Stderr, "benchreport: -bench and -fig10 are required")
 		return 2
+	}
+	var vcsList []int
+	for _, s := range strings.Split(*fig10VCs, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "benchreport: bad -fig10-vcs entry %q\n", s)
+			return 2
+		}
+		vcsList = append(vcsList, n)
 	}
 
 	var r report
@@ -93,38 +115,51 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		return 1
 	}
-	m := benchRx.FindSubmatch(bench)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "benchreport: no BenchmarkDeliveredWormAllocs line in %s (run with -benchmem or rely on b.ReportAllocs)\n", *benchPath)
+	for _, m := range benchRx.FindAllSubmatch(bench, -1) {
+		var e wormEntry
+		e.NumVCs, _ = strconv.Atoi(string(m[1]))
+		e.NsPerWorm, _ = strconv.ParseFloat(string(m[2]), 64)
+		e.AllocsPerWorm, _ = strconv.ParseFloat(string(m[3]), 64)
+		r.DeliveredWorm = append(r.DeliveredWorm, e)
+	}
+	if len(r.DeliveredWorm) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no BenchmarkDeliveredWormAllocs/vcs=N line in %s (run with -benchmem or rely on b.ReportAllocs)\n", *benchPath)
 		return 1
 	}
-	r.DeliveredWorm.NsPerWorm, _ = strconv.ParseFloat(string(m[1]), 64)
-	r.DeliveredWorm.AllocsPerWorm, _ = strconv.ParseFloat(string(m[2]), 64)
 
 	fig10, err := os.ReadFile(*fig10Path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		return 1
 	}
-	m = fig10Rx.FindSubmatch(fig10)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "benchreport: no fig10 timing footer in %s\n", *fig10Path)
+	footers := fig10Rx.FindAllSubmatch(fig10, -1)
+	if len(footers) != len(vcsList) {
+		fmt.Fprintf(os.Stderr, "benchreport: %d fig10 timing footers in %s, want %d (one per -fig10-vcs entry)\n",
+			len(footers), *fig10Path, len(vcsList))
 		return 1
 	}
-	points, _ := strconv.Atoi(string(m[1]))
-	secs, _ := strconv.ParseFloat(string(m[2]), 64)
-	if points == 0 || secs == 0 {
-		fmt.Fprintf(os.Stderr, "benchreport: degenerate fig10 footer %q\n", m[0])
-		return 1
+	for i, m := range footers {
+		points, _ := strconv.Atoi(string(m[1]))
+		secs, _ := strconv.ParseFloat(string(m[2]), 64)
+		if points == 0 || secs == 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: degenerate fig10 footer %q\n", m[0])
+			return 1
+		}
+		e := fig10Entry{
+			NumVCs:    vcsList[i],
+			Points:    points,
+			Seconds:   secs,
+			PointsSec: float64(points) / secs,
+		}
+		if e.NumVCs == 1 {
+			e.BaselineSeconds = baselineFig10Secs
+			e.BaselinePointsSec = baselineFig10Points / baselineFig10Secs
+			e.Speedup = e.PointsSec / e.BaselinePointsSec
+			e.MinAcceptedSpeedup = 5
+			e.RoadmapSpeedup = 10
+		}
+		r.Fig10 = append(r.Fig10, e)
 	}
-	r.Fig10.Points = points
-	r.Fig10.BaselineSeconds = baselineFig10Secs
-	r.Fig10.Seconds = secs
-	r.Fig10.BaselinePointsSec = baselineFig10Points / baselineFig10Secs
-	r.Fig10.PointsSec = float64(points) / secs
-	r.Fig10.Speedup = r.Fig10.PointsSec / r.Fig10.BaselinePointsSec
-	r.Fig10.MinAcceptedSpeedup = 5
-	r.Fig10.RoadmapSpeedup = 10
 
 	out, err := json.MarshalIndent(&r, "", "  ")
 	if err != nil {
@@ -136,11 +171,23 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		return 1
 	}
-	fmt.Printf("benchreport: fig10 %.2f points/s (%.1fx baseline), %.0f ns/worm, %g allocs/worm -> %s\n",
-		r.Fig10.PointsSec, r.Fig10.Speedup, r.DeliveredWorm.NsPerWorm, r.DeliveredWorm.AllocsPerWorm, *outPath)
-
-	if r.DeliveredWorm.AllocsPerWorm > 0 {
-		fmt.Fprintf(os.Stderr, "benchreport: FAIL: %g allocs per delivered worm, pin is 0\n", r.DeliveredWorm.AllocsPerWorm)
+	for _, e := range r.Fig10 {
+		if e.NumVCs == 1 {
+			fmt.Printf("benchreport: fig10 vcs=%d %.2f points/s (%.1fx baseline)\n", e.NumVCs, e.PointsSec, e.Speedup)
+		} else {
+			fmt.Printf("benchreport: fig10 vcs=%d %.2f points/s\n", e.NumVCs, e.PointsSec)
+		}
+	}
+	fail := false
+	for _, e := range r.DeliveredWorm {
+		fmt.Printf("benchreport: worm vcs=%d %.0f ns/worm, %g allocs/worm\n", e.NumVCs, e.NsPerWorm, e.AllocsPerWorm)
+		if e.AllocsPerWorm > 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL: %g allocs per delivered worm at vcs=%d, pin is 0\n", e.AllocsPerWorm, e.NumVCs)
+			fail = true
+		}
+	}
+	fmt.Printf("benchreport: wrote %s\n", *outPath)
+	if fail {
 		return 1
 	}
 	return 0

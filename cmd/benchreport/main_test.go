@@ -10,14 +10,20 @@ import (
 const sampleBench = `goos: linux
 goarch: amd64
 pkg: wormlan/internal/network
-BenchmarkDeliveredWormAllocs 	   55186	     38158 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeliveredWormAllocs/vcs=1-8 	   55186	     38158 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeliveredWormAllocs/vcs=2-8 	   51000	     39500 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDeliveredWormAllocs/vcs=4-8 	   50000	     40100 ns/op	       0 B/op	       0 allocs/op
 PASS
 `
 
+// Three concatenated mcbench runs, one per lane count, as the CI bench
+// job produces.
 const sampleFig10 = `Figure 10: average multicast latency vs offered load, 8x8 torus
 scheme                  load    mcLatency   uniLatency   thpt/host   n
 hamiltonian             0.015        2607         528      0.0259   150
   [fig10: 9 points (0 cached) in 2.000s]
+  [fig10: 9 points (0 cached) in 2.100s]
+  [fig10: 9 points (0 cached) in 2.300s]
 `
 
 func write(t *testing.T, dir, name, content string) string {
@@ -33,8 +39,8 @@ func TestReportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	bench := write(t, dir, "bench.txt", sampleBench)
 	fig10 := write(t, dir, "fig10.txt", sampleFig10)
-	out := filepath.Join(dir, "BENCH_7.json")
-	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-o", out}); rc != 0 {
+	out := filepath.Join(dir, "BENCH_8.json")
+	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-fig10-vcs", "1,2,4", "-o", out}); rc != 0 {
 		t.Fatalf("run = %d, want 0", rc)
 	}
 	data, err := os.ReadFile(out)
@@ -45,29 +51,59 @@ func TestReportRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		t.Fatal(err)
 	}
-	if r.Issue != issueNumber || r.Fig10.Points != 9 || r.Fig10.Seconds != 2.0 {
-		t.Errorf("unexpected report: %+v", r)
+	if r.Issue != issueNumber || len(r.Fig10) != 3 || len(r.DeliveredWorm) != 3 {
+		t.Fatalf("unexpected report shape: %+v", r)
 	}
-	if r.DeliveredWorm.NsPerWorm != 38158 || r.DeliveredWorm.AllocsPerWorm != 0 {
-		t.Errorf("unexpected delivered-worm stats: %+v", r.DeliveredWorm)
+	if r.Fig10[0].NumVCs != 1 || r.Fig10[0].Points != 9 || r.Fig10[0].Seconds != 2.0 {
+		t.Errorf("unexpected vcs=1 fig10 entry: %+v", r.Fig10[0])
 	}
-	if want := (9 / 2.0) / (baselineFig10Points / baselineFig10Secs); r.Fig10.Speedup != want {
-		t.Errorf("speedup = %v, want %v", r.Fig10.Speedup, want)
+	if want := (9 / 2.0) / (baselineFig10Points / baselineFig10Secs); r.Fig10[0].Speedup != want {
+		t.Errorf("speedup = %v, want %v", r.Fig10[0].Speedup, want)
+	}
+	// Multi-lane entries have no pre-VC baseline to compare against.
+	if r.Fig10[1].NumVCs != 2 || r.Fig10[1].Seconds != 2.1 || r.Fig10[1].Speedup != 0 {
+		t.Errorf("unexpected vcs=2 fig10 entry: %+v", r.Fig10[1])
+	}
+	if r.Fig10[2].NumVCs != 4 || r.Fig10[2].Seconds != 2.3 {
+		t.Errorf("unexpected vcs=4 fig10 entry: %+v", r.Fig10[2])
+	}
+	for i, want := range []wormEntry{
+		{NumVCs: 1, NsPerWorm: 38158},
+		{NumVCs: 2, NsPerWorm: 39500},
+		{NumVCs: 4, NsPerWorm: 40100},
+	} {
+		if r.DeliveredWorm[i] != want {
+			t.Errorf("deliveredWorm[%d] = %+v, want %+v", i, r.DeliveredWorm[i], want)
+		}
 	}
 }
 
 func TestAllocsPinFails(t *testing.T) {
 	dir := t.TempDir()
+	// The regression is on the vcs=2 line only: the pin must gate on
+	// every lane count, not just the first match.
 	bench := write(t, dir, "bench.txt",
-		"BenchmarkDeliveredWormAllocs 	   100	     38158 ns/op	      16 B/op	       2 allocs/op\n")
+		"BenchmarkDeliveredWormAllocs/vcs=1-8 	   100	     38158 ns/op	       0 B/op	       0 allocs/op\n"+
+			"BenchmarkDeliveredWormAllocs/vcs=2-8 	   100	     38158 ns/op	      16 B/op	       2 allocs/op\n"+
+			"BenchmarkDeliveredWormAllocs/vcs=4-8 	   100	     38158 ns/op	       0 B/op	       0 allocs/op\n")
 	fig10 := write(t, dir, "fig10.txt", sampleFig10)
-	out := filepath.Join(dir, "BENCH_7.json")
-	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-o", out}); rc != 1 {
+	out := filepath.Join(dir, "BENCH_8.json")
+	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-fig10-vcs", "1,2,4", "-o", out}); rc != 1 {
 		t.Fatalf("run = %d, want 1 (allocs pin)", rc)
 	}
 	// The report is still written so the artifact shows the regression.
 	if _, err := os.Stat(out); err != nil {
 		t.Errorf("report not written on pin failure: %v", err)
+	}
+}
+
+func TestFooterCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	bench := write(t, dir, "bench.txt", sampleBench)
+	fig10 := write(t, dir, "fig10.txt", sampleFig10) // 3 footers
+	out := filepath.Join(dir, "x.json")
+	if rc := run([]string{"-bench", bench, "-fig10", fig10, "-fig10-vcs", "1,2", "-o", out}); rc != 1 {
+		t.Fatalf("run = %d, want 1 on footer/vcs-list mismatch", rc)
 	}
 }
 
@@ -79,5 +115,8 @@ func TestMissingInputs(t *testing.T) {
 	empty := write(t, dir, "empty.txt", "nothing here\n")
 	if rc := run([]string{"-bench", empty, "-fig10", empty, "-o", filepath.Join(dir, "x.json")}); rc != 1 {
 		t.Fatalf("run = %d, want 1 on unparseable inputs", rc)
+	}
+	if rc := run([]string{"-bench", empty, "-fig10", empty, "-fig10-vcs", "zero", "-o", filepath.Join(dir, "x.json")}); rc != 2 {
+		t.Fatalf("run = %d, want 2 on bad -fig10-vcs", rc)
 	}
 }

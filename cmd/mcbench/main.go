@@ -44,15 +44,17 @@ func main() {
 
 var validFigs = map[string]bool{
 	"10": true, "11": true, "12": true, "13": true, "ablations": true, "all": true,
-	// storms is opt-in (not part of "all"): the chaos matrix with the
-	// selected failure-detection mode in the recovery loop.
+	// storms and routes are opt-in (not part of "all"): the chaos matrix
+	// with the selected failure-detection mode in the recovery loop, and
+	// the routing-scheme comparison (not a figure from the paper).
 	"storms": true,
+	"routes": true,
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mcbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all, storms")
+	fig := fs.String("fig", "all", "figure to regenerate: 10, 11, 12, 13, ablations, all, storms, routes")
 	scaleFlag := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1996, "random seed")
 	perPoint := fs.Duration("perpoint", 0, "wall-clock time per emulation point (figs 12/13)")
@@ -61,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 0, "per-point wall-clock timeout (0 = none)")
 	progress := fs.Bool("progress", false, "stream per-point completions to stderr")
 	metrics := fs.Bool("metrics", false, "print per-figure sweep execution metrics (points run/cached, per-point time distribution)")
+	vcs := fs.Int("vcs", 0, "virtual-channel lane count: fabric lanes for -fig 10, multi-VC curve lanes for -fig routes (0 = defaults)")
 	detect := fs.String("detect", "oracle", "storm failure detection: oracle or hello (in-band liveness; -fig storms)")
 	helloInterval := fs.Int64("hello-interval", 0, "hello transmission period in byte-times for -detect hello (0 = liveness default)")
 	detectMult := fs.Int("detect-mult", 0, "consecutive missed hellos before a peer-down verdict (0 = liveness default)")
@@ -156,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if want("10") {
 		runFig("fig10", func() error {
-			rows, err := core.Fig10With(ctx, scale, *seed, opts)
+			rows, err := core.Fig10VCsWith(ctx, scale, *seed, opts, *vcs)
 			if err != nil {
 				return err
 			}
@@ -178,6 +181,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runFig("fig12+13", func() error {
 			single, all := core.Fig12And13(scale, *perPoint)
 			core.PrintFig12And13(stdout, single, all)
+			return nil
+		})
+	}
+	if *fig == "routes" {
+		runFig("routes", func() error {
+			rows, err := core.RoutesWithVariants(ctx, scale, *seed, opts, core.VariantsWithVCs(*vcs))
+			if err != nil {
+				return err
+			}
+			core.PrintRoutes(stdout, rows)
 			return nil
 		})
 	}

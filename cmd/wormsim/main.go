@@ -29,6 +29,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
 	"wormlan/internal/liveness"
+	"wormlan/internal/network"
 	"wormlan/internal/profiling"
 	"wormlan/internal/sim"
 	"wormlan/internal/topology"
@@ -46,40 +47,56 @@ func loadConfigFile(path string) (*topology.Graph, map[int][]topology.NodeID, er
 	return topology.ParseConfig(f)
 }
 
-func buildTopology(name string, delay int64) (*topology.Graph, error) {
+// buildTopology returns the named graph, plus the torus geometry when the
+// topology has one (the vcmin route scheme needs it).
+func buildTopology(name string, delay int64) (*topology.Graph, *topology.TorusGeom, error) {
 	switch {
 	case name == "torus8x8":
-		return topology.Torus(8, 8, 1, delay), nil
+		g, geo := topology.TorusWithGeom(8, 8, 1, delay)
+		return g, geo, nil
 	case name == "torus4x4":
-		return topology.Torus(4, 4, 1, delay), nil
+		g, geo := topology.TorusWithGeom(4, 4, 1, delay)
+		return g, geo, nil
 	case name == "shufflenet24":
 		if delay == 0 {
 			delay = 1000
 		}
-		return topology.BidirShufflenet(2, 3, delay), nil
+		return topology.BidirShufflenet(2, 3, delay), nil, nil
 	case name == "myrinet4":
-		return topology.Myrinet4(), nil
+		return topology.Myrinet4(), nil, nil
 	case strings.HasPrefix(name, "star:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "star:%d", &n); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return topology.Star(n), nil
+		return topology.Star(n), nil, nil
 	case strings.HasPrefix(name, "line:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "line:%d", &n); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return topology.Line(n, delay), nil
+		return topology.Line(n, delay), nil, nil
 	case strings.HasPrefix(name, "ring:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "ring:%d", &n); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return topology.Ring(n, delay), nil
+		return topology.Ring(n, delay), nil, nil
+	case name == "fullmesh8x4":
+		return topology.FullMesh(8, 4, delayOr(delay, 1)), nil, nil
+	case name == "fullmesh8x8":
+		return topology.FullMesh(8, 8, delayOr(delay, 1)), nil, nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q", name)
+		return nil, nil, fmt.Errorf("unknown topology %q", name)
 	}
+}
+
+// delayOr substitutes d for a zero (topology-default) delay flag.
+func delayOr(delay, d int64) int64 {
+	if delay == 0 {
+		return d
+	}
+	return delay
 }
 
 func pickScheme(name string) (sim.Scheme, error) {
@@ -115,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	configPath := fs.String("config", "", "topology+groups configuration file (overrides -topology/-groups)")
-	topoName := fs.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, star:N, line:N, ring:N")
+	topoName := fs.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, fullmesh8x4, fullmesh8x8, star:N, line:N, ring:N")
 	schemeName := fs.String("scheme", "tree", "multicast scheme")
 	load := fs.Float64("load", 0.02, "offered load (generated output-link utilization per host)")
 	pmc := fs.Float64("pmc", 0.1, "probability a generated worm is multicast")
@@ -126,6 +143,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	measure := fs.Int64("measure", 300_000, "measurement window in byte-times")
 	linkDelay := fs.Int64("delay", 0, "inter-switch link delay in byte-times (0 = topology default)")
 	seed := fs.Uint64("seed", 1996, "random seed")
+	routeName := fs.String("route", "", "routing scheme: updown (default), vcmin (dateline minimal, torus only), or fullmesh; the alternatives are unicast-only (-pmc 0 -groups 0)")
+	vcs := fs.Int("vcs", 0, "virtual channels (lanes) per physical link (0 = fabric default)")
+	arbName := fs.String("arb", "", "crossbar arbitration: scan (default) or islip")
+	arbIters := fs.Int("arb-iters", 0, "iSLIP iterations per tick (0 = arbiter default)")
 	ordered := fs.Bool("ordered", false, "total ordering via the lowest-ID serializer")
 	reliable := fs.Bool("reliable", false, "use the full ACK/NACK reservation protocol instead of the paper's plain-forwarding simulation mode")
 	failLinks := fs.Int("fail-links", 0, "kill N random switch-to-switch cables during the run")
@@ -166,12 +187,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var g *topology.Graph
+	var geo *topology.TorusGeom
 	var fileGroups map[int][]topology.NodeID
 	var err error
 	if *configPath != "" {
 		g, fileGroups, err = loadConfigFile(*configPath)
 	} else {
-		g, err = buildTopology(*topoName, *linkDelay)
+		g, geo, err = buildTopology(*topoName, *linkDelay)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "wormsim: %v\n", err)
@@ -222,10 +244,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Warmup:        des.Time(*warmup),
 		Measure:       des.Time(*measure),
 		Seed:          *seed,
+		Route:         *routeName,
+		TorusGeom:     geo,
 		Adapter:       adapter.Config{PlainForwarding: !*reliable},
 		FaultPlan:     plan,
 		Detect:        mode,
 		Metrics:       *metrics,
+	}
+	cfg.Network.NumVCs = *vcs
+	switch *arbName {
+	case "", "scan":
+	case "islip":
+		cfg.Network.Arb = network.ArbISLIP
+		cfg.Network.ArbIters = *arbIters
+	default:
+		fmt.Fprintf(stderr, "wormsim: unknown arbiter %q (want scan or islip)\n", *arbName)
+		return 2
 	}
 	if mode == fault.DetectHello && (*helloInterval > 0 || *detectMult > 0) {
 		cfg.Liveness = &liveness.Config{

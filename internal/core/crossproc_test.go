@@ -25,7 +25,7 @@ func TestCrossProcChild(t *testing.T) {
 	if os.Getenv(crossProcEnv) != "1" {
 		t.Skip("helper for TestCrossProcessDeterminism")
 	}
-	g := fig10Grid(Quick, 7)
+	g := fig10Grid(Quick, 7, 0)
 	g.Points = g.Points[:1] // one (scheme, load) cell is enough to detect divergence
 	eng, err := sequential.engine()
 	if err != nil {

@@ -41,7 +41,7 @@ func assertWorkerInvariant[R any](t *testing.T, g sweep.Grid[R]) {
 }
 
 func TestFig10ParallelEquivalence(t *testing.T) {
-	g := fig10Grid(Quick, 1996)
+	g := fig10Grid(Quick, 1996, 0)
 	if testing.Short() {
 		// Point seeds depend only on point identity, never on position, so
 		// a truncated grid exercises the same property at race-job cost.

@@ -75,20 +75,33 @@ type figPoint struct {
 	MulticastProb float64 `json:"mcProb"`
 	Warmup        int64   `json:"warmup"`
 	Measure       int64   `json:"measure"`
+	// Routing-scheme comparison knobs (the routes grid).  omitempty keeps
+	// the cache keys and derived seeds of the pre-VC figures byte-stable:
+	// a fig10 point still serializes exactly as it did before these fields
+	// existed.
+	Route  string `json:"route,omitempty"`
+	NumVCs int    `json:"nvc,omitempty"`
+	Arb    string `json:"arb,omitempty"`
 }
 
 // fig10Grid expresses Figure 10 as a sweep grid: one point per
 // (scheme, load) cell, each running an independent kernel under a derived
-// per-point seed.
-func fig10Grid(s Scale, seed uint64) sweep.Grid[Fig10Row] {
+// per-point seed.  nvc > 1 runs the same figure on a multi-lane fabric —
+// the rows are byte-identical (routes ride lane 0; see TestVCTransparency)
+// but the timing records what the extra lanes cost, which is what the
+// BENCH trajectory tracks.  nvc <= 1 leaves the point identity untouched.
+func fig10Grid(s Scale, seed uint64, nvc int) sweep.Grid[Fig10Row] {
 	warm, meas := fig10Windows(s)
 	g := sweep.Grid[Fig10Row]{Name: "fig10", BaseSeed: seed}
+	if nvc <= 1 {
+		nvc = 0
+	}
 	for _, scheme := range Fig10Schemes {
 		for _, load := range Fig10Loads(s) {
 			scheme, load := scheme, load
-			g.Add(figPoint{Scheme: scheme.Name, Load: load, MulticastProb: 0.1, Warmup: warm, Measure: meas},
+			g.Add(figPoint{Scheme: scheme.Name, Load: load, MulticastProb: 0.1, Warmup: warm, Measure: meas, NumVCs: nvc},
 				func(_ context.Context, pseed uint64) (Fig10Row, error) {
-					r, err := sim.Run(sim.Config{
+					cfg := sim.Config{
 						Graph:         topology.Torus(8, 8, 1, 1),
 						Scheme:        scheme,
 						OfferedLoad:   load,
@@ -99,7 +112,9 @@ func fig10Grid(s Scale, seed uint64) sweep.Grid[Fig10Row] {
 						Measure:       meas,
 						Seed:          pseed,
 						Adapter:       adapter.Config{PlainForwarding: true},
-					})
+					}
+					cfg.Network.NumVCs = nvc
+					r, err := sim.Run(cfg)
 					if err != nil {
 						return Fig10Row{}, fmt.Errorf("fig10 %s load %v: %w", scheme.Name, load, err)
 					}
@@ -130,11 +145,19 @@ func Fig10(s Scale, seed uint64) ([]Fig10Row, error) {
 // are identical for any worker count: every point owns its kernel and its
 // seed is derived from the point identity alone.
 func Fig10With(ctx context.Context, s Scale, seed uint64, o Options) ([]Fig10Row, error) {
+	return Fig10VCsWith(ctx, s, seed, o, 0)
+}
+
+// Fig10VCsWith is Fig10With on a fabric with nvc lanes per link (nvc <= 1
+// is the default single-lane fabric).  The rows do not depend on nvc —
+// lane transparency is pinned by TestVCTransparency — so this exists for
+// the BENCH trajectory, which times the figure at NumVCs of 1, 2, and 4.
+func Fig10VCsWith(ctx context.Context, s Scale, seed uint64, o Options, nvc int) ([]Fig10Row, error) {
 	eng, err := o.engine()
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Run(ctx, eng, fig10Grid(s, seed))
+	return sweep.Run(ctx, eng, fig10Grid(s, seed, nvc))
 }
 
 // PrintFig10 renders the rows as the figure's series.

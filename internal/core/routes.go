@@ -1,0 +1,166 @@
+package core
+
+// The routing-scheme comparison grid: unicast latency and throughput under
+// up/down routing, VC-partitioned minimal torus routing (dateline, plain
+// scan and iSLIP arbitration), and direct full-mesh routing.  This is not
+// a figure from the paper — the paper fixes up/down routing (Section 2)
+// — but the natural companion experiment once the fabric has virtual
+// channels: how much of the torus's path diversity does the spanning-tree
+// discipline give up, and what does a richer physical topology buy
+// instead?  Unicast-only: the alternative schemes do not carry the
+// multicast worm variants (see sim.Config.Route).
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"wormlan/internal/network"
+	"wormlan/internal/sim"
+	"wormlan/internal/sweep"
+	"wormlan/internal/topology"
+)
+
+// RoutesRow is one (variant, load) cell of the routing comparison.
+type RoutesRow struct {
+	Variant string
+	Load    float64
+	UniLat  float64 // mean unicast latency, byte-times
+	Thpt    float64 // delivered payload bytes per byte-time per host
+	Samples int64
+}
+
+// RoutesVariant is one curve of the routing comparison grid.
+type RoutesVariant struct {
+	Name   string
+	Route  string // sim.Config.Route
+	NumVCs int
+	Arb    string // "" = port scan, "islip" = iSLIP
+}
+
+// RoutesVariants are the four curves: the repo's default spanning-tree
+// routing, dateline minimal routing under both arbiters, and the
+// VC-free full mesh.  All run 64 hosts (8x8 torus with one host per
+// switch; 8-switch mesh with eight hosts each) so per-host load means
+// the same thing on every curve.
+var RoutesVariants = []RoutesVariant{
+	{Name: "updown", Route: "updown", NumVCs: 1},
+	{Name: "vcmin", Route: "vcmin", NumVCs: 2},
+	{Name: "vcmin-islip", Route: "vcmin", NumVCs: 2, Arb: "islip"},
+	{Name: "fullmesh", Route: "fullmesh", NumVCs: 1},
+}
+
+// RoutesLoads returns the offered-load grid for the comparison.
+func RoutesLoads(s Scale) []float64 {
+	if s == Quick {
+		return []float64{0.04, 0.08, 0.12}
+	}
+	return []float64{0.02, 0.04, 0.06, 0.08, 0.10, 0.12, 0.14, 0.16, 0.18, 0.20}
+}
+
+func routesWindows(s Scale) (warm, meas int64) {
+	if s == Quick {
+		return 20_000, 80_000
+	}
+	return 50_000, 300_000
+}
+
+// routesConfig builds the sim config for one (variant, load) cell.
+func routesConfig(v RoutesVariant, load float64, warm, meas int64, seed uint64) sim.Config {
+	cfg := sim.Config{
+		Route:       v.Route,
+		Scheme:      sim.HamiltonianSF, // multicast mode; irrelevant for pure unicast
+		OfferedLoad: load,
+		Warmup:      warm,
+		Measure:     meas,
+		Seed:        seed,
+	}
+	if v.Route == "fullmesh" {
+		cfg.Graph = topology.FullMesh(8, 8, 1)
+	} else {
+		g, geo := topology.TorusWithGeom(8, 8, 1, 1)
+		cfg.Graph, cfg.TorusGeom = g, geo
+	}
+	cfg.Network.NumVCs = v.NumVCs
+	if v.Arb == "islip" {
+		cfg.Network.Arb = network.ArbISLIP
+		cfg.Network.ArbIters = 2
+	}
+	return cfg
+}
+
+// VariantsWithVCs returns the default curves with every multi-lane
+// variant's lane count replaced by nvc (nvc < 2 keeps the defaults) — the
+// hook behind mcbench's -vcs flag.
+func VariantsWithVCs(nvc int) []RoutesVariant {
+	out := append([]RoutesVariant(nil), RoutesVariants...)
+	if nvc < 2 {
+		return out
+	}
+	for i := range out {
+		if out[i].NumVCs >= 2 {
+			out[i].NumVCs = nvc
+		}
+	}
+	return out
+}
+
+// routesGrid expresses the comparison as a sweep grid: one point per
+// (variant, load) cell, each with a seed derived from the point identity.
+func routesGrid(s Scale, seed uint64, variants []RoutesVariant) sweep.Grid[RoutesRow] {
+	warm, meas := routesWindows(s)
+	g := sweep.Grid[RoutesRow]{Name: "routes", BaseSeed: seed}
+	for _, v := range variants {
+		for _, load := range RoutesLoads(s) {
+			v, load := v, load
+			g.Add(figPoint{Scheme: v.Name, Load: load, Warmup: warm, Measure: meas,
+				Route: v.Route, NumVCs: v.NumVCs, Arb: v.Arb},
+				func(_ context.Context, pseed uint64) (RoutesRow, error) {
+					r, err := sim.Run(routesConfig(v, load, warm, meas, pseed))
+					if err != nil {
+						return RoutesRow{}, fmt.Errorf("routes %s load %v: %w", v.Name, load, err)
+					}
+					return RoutesRow{
+						Variant: v.Name,
+						Load:    load,
+						UniLat:  r.UniLatency.Mean(),
+						Thpt:    r.ThroughputPerHost,
+						Samples: r.UniDeliveries,
+					}, nil
+				})
+		}
+	}
+	return g
+}
+
+// Routes runs the routing comparison sequentially; see RoutesWith for
+// parallel sweeps.
+func Routes(s Scale, seed uint64) ([]RoutesRow, error) {
+	return RoutesWith(context.Background(), s, seed, sequential)
+}
+
+// RoutesWith runs the routing comparison grid under the given sweep
+// options.  Rows are identical for any worker count.
+func RoutesWith(ctx context.Context, s Scale, seed uint64, o Options) ([]RoutesRow, error) {
+	return RoutesWithVariants(ctx, s, seed, o, RoutesVariants)
+}
+
+// RoutesWithVariants is RoutesWith over a custom curve list (e.g. the
+// default variants at a different lane count; see VariantsWithVCs).
+func RoutesWithVariants(ctx context.Context, s Scale, seed uint64, o Options, variants []RoutesVariant) ([]RoutesRow, error) {
+	eng, err := o.engine()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(ctx, eng, routesGrid(s, seed, variants))
+}
+
+// PrintRoutes renders the rows as the comparison's series.
+func PrintRoutes(w io.Writer, rows []RoutesRow) {
+	fmt.Fprintln(w, "Routing comparison: unicast latency vs offered load, 64 hosts")
+	fmt.Fprintln(w, "variant                 load    uniLatency   thpt/host   n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-22s %6.3f   %9.0f    %8.4f   %d\n",
+			r.Variant, r.Load, r.UniLat, r.Thpt, r.Samples)
+	}
+}

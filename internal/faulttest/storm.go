@@ -8,9 +8,12 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/fault"
 	"wormlan/internal/liveness"
+	"wormlan/internal/network"
 	"wormlan/internal/sweep"
 	"wormlan/internal/topology"
 	"wormlan/internal/traffic"
+	"wormlan/internal/updown"
+	"wormlan/internal/vcroute"
 )
 
 // StormSpec declares one chaos scenario: a topology, a random fault
@@ -41,6 +44,17 @@ type StormSpec struct {
 	// mode (zero keeps the package defaults).
 	HelloInterval des.Time `json:"helloInterval,omitempty"`
 	DetectMult    int      `json:"detectMult,omitempty"`
+
+	// Route selects the routing scheme: "" or "updown" (default, full
+	// fault repertoire), or "vcmin"/"fullmesh" for the alternative
+	// deadlock-free schemes.  The alternative schemes have no
+	// topology-change recovery, so their storms are restricted to
+	// corruptions and host stalls (RunStorm rejects anything else).
+	// Omitempty, like the detection knobs: the default matrix's specs —
+	// and therefore their derived storm seeds — serialize unchanged.
+	Route  string `json:"route,omitempty"`
+	NumVCs int    `json:"nvc,omitempty"`
+	Arb    string `json:"arb,omitempty"` // "" = port scan, "islip"
 }
 
 // BuildTopo constructs the fabric a spec names.
@@ -75,6 +89,9 @@ func StormAdapterConfig() adapter.Config {
 // matrix test pins across worker counts).
 func RunStorm(spec StormSpec) (Outcome, error) {
 	var zero Outcome
+	if spec.Route != "" && spec.Route != "updown" {
+		return runVCStorm(spec)
+	}
 	g, err := BuildTopo(spec.Topo)
 	if err != nil {
 		return zero, err
@@ -218,6 +235,157 @@ func DetectionStormMatrix() []StormSpec {
 		specs[i].Detect = "hello"
 	}
 	return specs
+}
+
+// runVCStorm is the alternative-routing storm path: corruption and stall
+// chaos against unicast traffic on a VC-partitioned minimal torus or a
+// direct-routed full mesh.  There is no remap machinery — these schemes
+// have no topology-change recovery — so the spec may not schedule
+// link/switch events, and the post-storm route check is vacuous (the
+// table never changes).  Everything else holds: the schedule must hit,
+// traffic must survive, worms are conserved, the fabric drains with no
+// held channels.
+func runVCStorm(spec StormSpec) (Outcome, error) {
+	var zero Outcome
+	if spec.Faults.LinkDowns > 0 || spec.Faults.SwitchDowns > 0 {
+		return zero, fmt.Errorf("faulttest: %s routing has no topology-change recovery; use Corruptions/Stalls only", spec.Route)
+	}
+	if spec.OfferedLoad == 0 {
+		spec.OfferedLoad = 0.02
+	}
+	if spec.MeanWorm == 0 {
+		spec.MeanWorm = 300
+	}
+	if spec.TrafficSeed == 0 {
+		spec.TrafficSeed = 5
+	}
+
+	var (
+		g    *topology.Graph
+		tbl  *updown.Table
+		ncfg network.Config
+		err  error
+	)
+	switch spec.Route {
+	case "vcmin":
+		if spec.Topo != "torus8x8" {
+			return zero, fmt.Errorf("faulttest: vcmin storms run on torus8x8, not %q", spec.Topo)
+		}
+		var geo *topology.TorusGeom
+		g, geo = topology.TorusWithGeom(8, 8, 1, 1)
+		ncfg.NumVCs = spec.NumVCs
+		if ncfg.NumVCs < 2 {
+			ncfg.NumVCs = 2
+		}
+		ncfg.VCHeaders = true
+		tbl, err = vcroute.TorusMinimal(g, geo, ncfg.NumVCs)
+	case "fullmesh":
+		if spec.Topo != "fullmesh8x4" {
+			return zero, fmt.Errorf("faulttest: fullmesh storms run on fullmesh8x4, not %q", spec.Topo)
+		}
+		g = topology.FullMesh(8, 4, 1)
+		ncfg.NumVCs = spec.NumVCs
+		tbl, err = vcroute.FullMesh(g)
+	default:
+		return zero, fmt.Errorf("faulttest: unknown route scheme %q", spec.Route)
+	}
+	if err != nil {
+		return zero, err
+	}
+	switch spec.Arb {
+	case "":
+	case "islip":
+		ncfg.Arb = network.ArbISLIP
+		ncfg.ArbIters = 2
+	default:
+		return zero, fmt.Errorf("faulttest: unknown arbiter %q", spec.Arb)
+	}
+
+	k := des.NewKernel()
+	// The up*/down* orientation is only consulted for broadcast worms,
+	// which unicast-only storms never inject; the fabric just needs one.
+	ud, err := updown.New(g, topology.None)
+	if err != nil {
+		return zero, err
+	}
+	fab, err := network.New(k, g, ud, ncfg)
+	if err != nil {
+		return zero, err
+	}
+	sys, err := adapter.NewSystem(k, fab, tbl, StormAdapterConfig(), 77)
+	if err != nil {
+		return zero, err
+	}
+	var uni int64
+	sys.OnAppDeliver = func(d adapter.AppDelivery) {
+		if d.Transfer == nil {
+			uni++
+		}
+	}
+	plan := fault.RandomPlan(g, spec.Faults)
+	inj, err := fault.NewInjector(k, fab, plan, fault.InjectorConfig{})
+	if err != nil {
+		return zero, err
+	}
+	gen, err := traffic.New(k, traffic.Config{
+		OfferedLoad: spec.OfferedLoad,
+		MeanWorm:    spec.MeanWorm,
+		Until:       des.Time(spec.Faults.Window) * 2,
+	}, g.Hosts(), nil, sys, spec.TrafficSeed)
+	if err != nil {
+		return zero, err
+	}
+	gen.Start()
+
+	deadline := des.Time(spec.Faults.Window) * 40
+	if err := k.Run(deadline); err != nil {
+		return zero, fmt.Errorf("kernel error: %w", err)
+	}
+	if n := k.Pending(); n != 0 {
+		return zero, fmt.Errorf("vc storm did not drain by t=%d: %d events pending (deadlock?)\n%s",
+			deadline, n, fab.StallReport())
+	}
+
+	ic := inj.Counters()
+	if spec.Faults.Corruptions > 0 && ic.Corruptions < 1 {
+		return zero, fmt.Errorf("chaos plan corrupted nothing: %+v", ic)
+	}
+	if spec.Faults.Stalls > 0 && ic.Stalls < 1 {
+		return zero, fmt.Errorf("chaos plan stalled no hosts: %+v", ic)
+	}
+	worms, _, _ := gen.Generated()
+	if worms == 0 {
+		return zero, fmt.Errorf("no traffic generated")
+	}
+	if uni == 0 {
+		return zero, fmt.Errorf("no unicast deliveries survived the storm")
+	}
+	ctr := fab.Counters()
+	if ctr.Injected != ctr.Delivered+ctr.WormsDropped {
+		return zero, fmt.Errorf("conservation violated: injected %d != delivered %d + dropped %d",
+			ctr.Injected, ctr.Delivered, ctr.WormsDropped)
+	}
+	if held := fab.HeldChannels(); len(held) != 0 {
+		return zero, fmt.Errorf("%d worms hold channels after drain\n%s", len(held), fab.StallReport())
+	}
+	return Outcome{Fabric: ctr, Adapter: sys.Stats(), Inject: ic, Uni: uni}, nil
+}
+
+// VCStormMatrix is the alternative-routing storm grid: corruption/stall
+// chaos on the dateline torus (both arbiters) and the direct-routed full
+// mesh.  A separate matrix — appending these to DefaultStormMatrix would
+// not change its specs' serialized forms, but keeping them apart keeps
+// the full fault repertoire (link and switch kills) clearly scoped to
+// up*/down* routing.
+func VCStormMatrix() []StormSpec {
+	return []StormSpec{
+		{Name: "vcmin-storm", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
+			Faults: fault.Options{Seed: 17, Corruptions: 4, Stalls: 2, Window: 30_000}},
+		{Name: "vcmin-islip-storm", Topo: "torus8x8", Route: "vcmin", NumVCs: 4, Arb: "islip",
+			Faults: fault.Options{Seed: 29, Corruptions: 3, Stalls: 2, Window: 30_000}},
+		{Name: "fullmesh-storm", Topo: "fullmesh8x4", Route: "fullmesh",
+			Faults: fault.Options{Seed: 31, Corruptions: 4, Stalls: 2, Window: 30_000}},
+	}
 }
 
 // DefaultStormMatrix is the storm matrix exercised by tests and

@@ -70,3 +70,45 @@ func TestStormDerivedSeeds(t *testing.T) {
 		t.Fatal("derived-seed storms not reproducible")
 	}
 }
+
+// TestVCStormMatrix: the alternative-routing storms (dateline torus under
+// both arbiters, direct-routed full mesh) drain with every invariant
+// runVCStorm checks — conservation, no held channels, schedule actually
+// hit — and rerun bit-identically, including across worker counts.
+func TestVCStormMatrix(t *testing.T) {
+	specs := VCStormMatrix()
+	if testing.Short() {
+		specs = specs[:2]
+	}
+	seq, err := sweep.Run(context.Background(), &sweep.Engine{Workers: 1}, StormGrid(specs, 1996))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(context.Background(), &sweep.Engine{Workers: 3}, StormGrid(specs, 1996))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("vc storm matrix not worker-count invariant:\n seq=%+v\n par=%+v", seq, par)
+	}
+	for i, o := range seq {
+		if o.Fabric.Injected == 0 || o.Uni == 0 {
+			t.Errorf("vc storm %s saw no traffic: %+v", specs[i].Name, o)
+		}
+		if o.Inject.Corruptions == 0 {
+			t.Errorf("vc storm %s corrupted nothing: %+v", specs[i].Name, o.Inject)
+		}
+	}
+}
+
+// TestVCStormRejectsTopologyFaults: a vcmin spec that schedules link or
+// switch kills is refused — the scheme has no recovery path for them.
+func TestVCStormRejectsTopologyFaults(t *testing.T) {
+	_, err := RunStorm(StormSpec{
+		Name: "bad", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
+		Faults: fault.Options{Seed: 3, LinkDowns: 1, Window: 30_000},
+	})
+	if err == nil {
+		t.Fatal("vcmin storm with LinkDowns accepted")
+	}
+}

@@ -168,6 +168,12 @@ type Flit struct {
 	Kind Kind
 	// B is the header byte value; meaningful only when Kind == Header.
 	B byte
+	// VC is the virtual-channel lane this flit travels on.  Physically it
+	// models the lane tag in the channel-symbol encoding (each flit on a
+	// multi-lane link is framed with its lane id, as in multi-VC wormhole
+	// routers); lane 0 on every single-lane fabric, so the zero value is
+	// the pre-VC wire format.
+	VC uint8
 	// Bad marks a damaged flit.  A Bad payload flit models wire corruption
 	// (the receiving host discards the worm on checksum failure); a Bad
 	// tail is the fabric's forward-reset marker, synthesized to terminate a

@@ -30,6 +30,8 @@ var deterministicScope = []string{
 	"internal/liveness",
 	"internal/updown",
 	"internal/route",
+	"internal/vcroute",
+	"internal/arb",
 	"internal/core",
 	// Beyond the contract's original kernel list: these feed the kernel
 	// deterministically (topology/route construction, traffic draws,

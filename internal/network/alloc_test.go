@@ -11,6 +11,7 @@ package network
 // allocs/op in CI.
 
 import (
+	"fmt"
 	"testing"
 
 	"wormlan/internal/des"
@@ -24,10 +25,12 @@ import (
 // per-flit relay cost dominates the per-worm setup cost in the benchmark.
 const allocPayload = 256
 
-// newAllocRig builds a two-switch line fabric and returns a step function
-// that injects one pooled worm from the first host to the second and runs
-// the kernel until it is delivered (and its pooled storage reclaimed).
-func newAllocRig(tb testing.TB) func() {
+// newAllocRig builds a two-switch line fabric with nvc lanes per link and
+// returns a step function that injects one pooled worm from the first host
+// to the second and runs the kernel until it is delivered (and its pooled
+// storage reclaimed).  Plain port-byte routes ride lane 0, so the same pin
+// holds at every lane count: extra lanes must cost state, not allocations.
+func newAllocRig(tb testing.TB, nvc int) func() {
 	tb.Helper()
 	k := des.NewKernel()
 	g := topology.Line(2, 1)
@@ -37,7 +40,7 @@ func newAllocRig(tb testing.TB) func() {
 	}
 	var pool flit.WormPool
 	delivered := 0
-	f, err := New(k, g, ud, Config{OnDeliver: func(d Delivery) {
+	f, err := New(k, g, ud, Config{NumVCs: nvc, OnDeliver: func(d Delivery) {
 		delivered++
 		pool.Put(d.Worm)
 	}})
@@ -74,25 +77,33 @@ func newAllocRig(tb testing.TB) func() {
 }
 
 func TestDeliveredWormZeroAlloc(t *testing.T) {
-	step := newAllocRig(t)
-	// Warm the one-time capacities (host queue, port request slices, event
-	// wheel) that legitimately allocate on first use.
-	for i := 0; i < 8; i++ {
-		step()
-	}
-	if avg := testing.AllocsPerRun(100, step); avg != 0 {
-		t.Fatalf("delivering a worm allocated %v times, want 0", avg)
+	for _, nvc := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("vcs=%d", nvc), func(t *testing.T) {
+			step := newAllocRig(t, nvc)
+			// Warm the one-time capacities (host queue, port request
+			// slices, event wheel) that legitimately allocate on first use.
+			for i := 0; i < 8; i++ {
+				step()
+			}
+			if avg := testing.AllocsPerRun(100, step); avg != 0 {
+				t.Fatalf("delivering a worm allocated %v times, want 0", avg)
+			}
+		})
 	}
 }
 
 func BenchmarkDeliveredWormAllocs(b *testing.B) {
-	step := newAllocRig(b)
-	for i := 0; i < 8; i++ {
-		step()
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		step()
+	for _, nvc := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("vcs=%d", nvc), func(b *testing.B) {
+			step := newAllocRig(b, nvc)
+			for i := 0; i < 8; i++ {
+				step()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
 	}
 }

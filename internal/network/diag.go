@@ -42,7 +42,7 @@ func (f *Fabric) StallReport() string {
 				continue
 			}
 			fmt.Fprintf(&b, "  switch %d out[%d]: bound to in[%d] phase=%d stopped=%v idle=%d\n",
-				s.node, oi, o.boundIn, o.phase, o.link.stopAtSender, o.idleTicks)
+				s.node, oi, o.boundIn, o.phase, o.link.stopped(o.vc), o.idleTicks)
 		}
 	}
 	for _, h := range f.hosts {
@@ -51,7 +51,7 @@ func (f *Fabric) StallReport() string {
 		}
 		if h.cur != nil || h.qlen() > 0 {
 			fmt.Fprintf(&b, "  host %d: sending=%v queued=%d stopped=%v\n",
-				h.node, h.cur != nil, h.qlen(), h.outLink.stopAtSender)
+				h.node, h.cur != nil, h.qlen(), h.outLink.stopped(0))
 		}
 	}
 	return b.String()
@@ -104,10 +104,12 @@ func (f *Fabric) HeldChannels() map[*flit.Worm][]struct {
 			if w == nil {
 				continue
 			}
+			// Report the physical port (lane index / nvc), the unit the
+			// topology and the deadlock tests reason about.
 			out[w] = append(out[w], struct {
 				Switch topology.NodeID
 				Port   topology.PortID
-			}{s.node, topology.PortID(oi)})
+			}{s.node, topology.PortID(oi / f.nvc)})
 		}
 	}
 	return out

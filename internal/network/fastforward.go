@@ -31,8 +31,9 @@ package network
 //     full, every branch opPayload with idleTicks == 0 on a full live
 //     link): receives one payload and pops one, so fill, the head-relative
 //     window contents, and the STOP wish (a pure function of fill) are
-//     unchanged; the publish phase re-clears the dirty bit and writes
-//     nothing (ring already uniform, pendIns empty).  The slack ring's
+//     unchanged — including the common fill == 0 standing state, where
+//     the lane is a pure relay of the flit arriving that same tick; the
+//     publish phase re-clears the dirty bit and writes nothing (ring already uniform, pendIns empty).  The slack ring's
 //     head index is deliberately left in place: the occupied window holds
 //     fill copies of one flit value and the vacated cells are zero on both
 //     paths, so the rotation is unobservable — every read is head-relative.
@@ -59,6 +60,16 @@ package network
 // an active switch (an idle port would route — new work) or on a host
 // mid-reassembly of that worm.
 //
+// Virtual channels: the steady shape additionally requires every active
+// wire to stream exactly one lane (a uniform-VC pipe), every bound lane to
+// be fed by its own arrival wire, and every bound output lane to own its
+// wire exclusively (no bound sibling).  Under those conditions the
+// rotating lane grant has a single candidate every tick, so multiplexing
+// decisions cannot diverge inside the window; any lane interleaving
+// declines the skip instead.  A worm switching lanes mid-route (dateline
+// crossing) is still steady: each wire on its path carries one lane's
+// flits, just not the same lane on every hop.
+//
 // No trace events fire on any of these paths (EvStop/EvGo need a wish
 // flip, EvInject a stream start, EvTailDrained/EvDelivered a tail,
 // EvBlocked an arbitration), so the skip is exact even with a Recorder
@@ -82,9 +93,16 @@ const skipRetryTicks = 64
 // ticks in one step when the current state is provably steady, returning
 // the number of ticks applied (0 when the fabric must keep byte-ticking).
 func (f *Fabric) Skip(now des.Time, max des.Time) des.Time {
-	if f.hello != nil || now < f.skipHold {
+	if f.hello != nil || f.Cfg.DisableFastForward || now < f.skipHold {
 		// The hello engine does per-tick work (due checks, deferrals) that
 		// fast-forward does not model; detection runs tick for real.
+		return 0
+	}
+	if f.rxBusy == 0 && f.linkAct.empty() && f.swAct.empty() && f.hostAct.empty() {
+		// Nothing is active: the next tick pass returns false and
+		// deactivates the fabric.  Skipping here would count idle ticks
+		// (and fire kernel Observe callbacks) that a non-skipping run
+		// never executes, breaking the ticks/dispatched equivalence.
 		return 0
 	}
 	n := max
@@ -100,21 +118,26 @@ func (f *Fabric) Skip(now des.Time, max des.Time) des.Time {
 			return
 		}
 		l := f.links[li]
-		if l.dead || l.inFlight != l.delay || l.ctrlTrues != 0 || l.stopAtSender {
+		if l.dead || l.inFlight != l.delay || l.ctrlTrues != 0 || l.stopMask != 0 {
 			steady = false
 			return
 		}
+		// Every slot a clean payload, all on one lane: a wire interleaving
+		// lanes is not a pure shift (the lane scheduler alternates), so a
+		// mixed pipe declines rather than risking a wrong fast-forward.
+		vc := l.pipe[0].VC
 		for s := 0; s < l.delay; s++ {
-			if !l.occ[s] || l.pipe[s].Kind != flit.Payload || l.pipe[s].Bad {
+			if !l.occ[s] || l.pipe[s].Kind != flit.Payload || l.pipe[s].Bad ||
+				l.pipe[s].VC != vc {
 				steady = false
 				return
 			}
 		}
 		if s := f.sw[l.dstNode]; s != nil {
-			// An idle destination port would start routing on arrival;
-			// only a bound port of an active switch absorbs a payload
+			// An idle destination lane would start routing on arrival;
+			// only a bound lane of an active switch absorbs a payload
 			// flit steadily.
-			if !s.active || s.dead || !s.boundIns.has(int(l.dstPort)) {
+			if !s.active || s.dead || !s.boundIns.has(int(l.dstPort)*f.nvc+int(vc)) {
 				steady = false
 				return
 			}
@@ -149,7 +172,20 @@ func (f *Fabric) Skip(now des.Time, max des.Time) des.Time {
 			}
 			in := &s.in[pi]
 			il := in.inLink
-			if il == nil || il.dead || il.inFlight != il.delay || in.fill == 0 {
+			// fill == 0 is the common standing state of an uncontended
+			// relay: the arrival (phase 1) and the pop (phase 3) cancel
+			// within each tick, so the boundary fill sits at zero and the
+			// lane forwards the flit that arrived that same tick.  That is
+			// still a pure shift as long as the arrival wire is full and
+			// live — which the next check demands regardless of fill.
+			if il == nil || il.dead || il.inFlight != il.delay {
+				steady = false
+				return
+			}
+			if il.pipe[0].VC != in.vc {
+				// The shared arrival wire is streaming a sibling lane: this
+				// lane receives nothing during the window, so its fill would
+				// drain, not hold.
 				steady = false
 				return
 			}
@@ -169,6 +205,17 @@ func (f *Fabric) Skip(now des.Time, max des.Time) des.Time {
 					o.link.dead || o.link.inFlight != o.link.delay {
 					steady = false
 					return
+				}
+				if f.nvc > 1 {
+					// The outgoing wire must be exclusively this lane's:
+					// a bound sibling lane would contend for the wire and
+					// the rotating lane grant would interleave them.
+					for v := 0; v < f.nvc; v++ {
+						if o.base+v != oi && s.out[o.base+v].boundIn >= 0 {
+							steady = false
+							return
+						}
+					}
 				}
 			}
 			nFed += len(in.outs)
@@ -235,5 +282,12 @@ func (f *Fabric) Skip(now des.Time, max des.Time) des.Time {
 	if nLinks > 0 {
 		f.lastMove = now + n - 1
 	}
+	f.skips++
+	f.skippedTicks += int64(n)
 	return n
 }
+
+// SkipStats reports how many times fast-forward engaged and how many ticks
+// it absorbed in total — a diagnostic for tests and benchmarks, kept out
+// of Counters so skipping and non-skipping runs stay comparable.
+func (f *Fabric) SkipStats() (skips, ticks int64) { return f.skips, f.skippedTicks }

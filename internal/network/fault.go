@@ -207,29 +207,41 @@ func (f *Fabric) killLink(l *dlink) {
 			l.occ[s] = false
 			l.pipe[s] = flit.Flit{}
 		}
-		l.ctrl[s] = false
+		l.ctrl[s] = 0
 	}
+	l.ctrlOnes = [4]int32{}
 	l.ctrlTrues = 0
 	l.inFlight = 0
-	l.stopAtSender = false
+	l.stopMask = 0
 	f.deactivateLink(l)
-	// Mark the sender's in-progress worm as lost right away (not only when
-	// its tail hits the black hole): if the link revives mid-worm, the
-	// remaining flits must be recognized downstream as a torn-down stub.
+	// Mark the sender's in-progress worm copies as lost right away (not
+	// only when their tails hit the black hole): if the link revives
+	// mid-worm, the remaining flits must be recognized downstream as a
+	// torn-down stub.  Every lane of the port can hold an independent copy
+	// (the physical pipe is shared, the bindings are not), so attribution
+	// walks all of them — counting per physical pipe would miss the worms
+	// on sibling lanes.
+	nvc := f.nvc
 	if s := f.sw[l.srcNode]; s != nil {
-		if o := &s.out[l.srcPort]; o.boundIn >= 0 && s.in[o.boundIn].mode == pmBoundUni {
-			f.dropWorm(s.in[o.boundIn].worm)
+		base := int(l.srcPort) * nvc
+		for v := 0; v < nvc; v++ {
+			if o := &s.out[base+v]; o.boundIn >= 0 && s.in[o.boundIn].mode == pmBoundUni {
+				f.dropWorm(s.in[o.boundIn].worm)
+			}
 		}
 	} else if h := f.hosts[l.srcNode]; h.cur != nil {
 		f.dropWorm(h.cur.W)
 	}
 	if s := f.sw[l.dstNode]; s != nil {
-		// The publish phase skips dead-link ports, so the port leaves the
+		// The publish phase skips dead-link ports, so every lane leaves the
 		// settling set and joins the dead index until the link revives.
-		s.deadIns.set(int(l.dstPort))
-		s.pendIns.clear(int(l.dstPort))
-		if !s.dead {
-			f.poisonInput(&s.in[l.dstPort])
+		base := int(l.dstPort) * nvc
+		for v := 0; v < nvc; v++ {
+			s.deadIns.set(base + v)
+			s.pendIns.clear(base + v)
+			if !s.dead {
+				f.poisonInput(&s.in[base+v])
+			}
 		}
 	} else {
 		f.poisonHost(f.hosts[l.dstNode])
@@ -242,21 +254,26 @@ func (f *Fabric) reviveLink(l *dlink) {
 	for s := 0; s < l.delay; s++ {
 		l.pipe[s] = flit.Flit{}
 		l.occ[s] = false
-		l.ctrl[s] = false
+		l.ctrl[s] = 0
 	}
+	l.ctrlOnes = [4]int32{}
 	l.ctrlTrues = 0
 	l.inFlight = 0
-	l.stopAtSender = false
+	l.stopMask = 0
 	f.deactivateLink(l)
 	// The downstream switch resumes publishing on this reverse channel next
-	// tick (its port may hold a stale STOP wish to clear), so make sure it
+	// tick (its lanes may hold stale STOP wishes to clear), so make sure it
 	// is scheduled.
 	if s := f.sw[l.dstNode]; s != nil {
-		s.deadIns.clear(int(l.dstPort))
-		// The ring was wiped to uniform GO: a port with a standing STOP
-		// wish must publish until the ring matches it (or the wish clears).
-		if s.in[l.dstPort].stopWish {
-			s.pendIns.set(int(l.dstPort))
+		base := int(l.dstPort) * f.nvc
+		for v := 0; v < f.nvc; v++ {
+			s.deadIns.clear(base + v)
+			// The ring was wiped to uniform GO: a lane with a standing STOP
+			// wish must publish until the ring matches it (or the wish
+			// clears).
+			if s.in[base+v].stopWish {
+				s.pendIns.set(base + v)
+			}
 		}
 		if !s.dead {
 			f.activateSwitch(s)

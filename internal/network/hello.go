@@ -146,7 +146,7 @@ func (f *Fabric) helloPhase(now des.Time) {
 			continue
 		}
 		slot := f.delaySlots[l.dc]
-		if l.occ[slot] || l.stopAtSender {
+		if l.occ[slot] || l.stopMask != 0 {
 			// Congestion: data owns the wire (or the delayed STOP state
 			// holds the sending end).  The hello waits — this is the
 			// mechanism by which saturation mimics death.

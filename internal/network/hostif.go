@@ -149,7 +149,7 @@ func (h *hostIf) transmit(now des.Time) {
 		h.abortTx(now)
 		return
 	}
-	if h.outLink.stopAtSender {
+	if h.outLink.stopped(0) {
 		h.outLink.stalled++
 		return
 	}
@@ -194,7 +194,7 @@ func (h *hostIf) abortTx(now des.Time) {
 		// Nothing on the wire (or the wire is gone): silent drop.
 		h.f.dropWorm(h.cur.W)
 		h.cur = nil
-	case !h.outLink.stopAtSender:
+	case !h.outLink.stopped(0):
 		h.outLink.send(now, flit.Flit{W: h.cur.W, Kind: flit.Tail, Bad: true})
 		h.f.moved = true
 		h.f.ctr.FlitsCarried++

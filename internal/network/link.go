@@ -11,6 +11,9 @@ import (
 // pipeline of delay byte-slots; the reverse channel carries the STOP/GO
 // state of the downstream slack buffer with the same propagation delay
 // (Myrinet sends STOP and GO control symbols on the paired return line).
+// With virtual channels (Config.NumVCs > 1) the same physical wire is
+// time-multiplexed between lanes: each forward slot carries one flit tagged
+// with its lane, and each reverse slot carries a per-lane STOP bitmask.
 // The field order groups everything the per-tick hot paths touch — flags,
 // the pipeline slices, the slot class, and the flit counters — at the
 // front, so delivery and send stay within the first cachelines; the
@@ -26,9 +29,19 @@ type dlink struct {
 	// counted as dropped rather than delivered, and senders drain their
 	// worms instead of wedging behind a STOP that would never clear.
 	dead bool
-	// stopAtSender is the delayed view of the downstream STOP state, as
-	// currently visible at the sending end.
-	stopAtSender bool
+	// stopMask is the delayed view of the downstream per-lane STOP state,
+	// as currently visible at the sending end: bit v set means lane v is
+	// stopped.  With NumVCs == 1 only bit 0 is ever used and the mask is
+	// exactly the scalar stop-at-sender flag of the VC-free fabric.
+	stopMask uint8
+
+	// grantTick/grantVC cache the lane-scheduler decision for this link at
+	// grantTick (see swState.laneGrant): the wire carries at most one flit
+	// per tick, so the granted lane is computed once and shared by every
+	// lane's transmit visit.  The grant is a pure function of the current
+	// tick and port state, so it needs no repair on fast-forward or replay.
+	grantTick int64
+	grantVC   int8
 
 	// dc indexes Fabric.delaySlots: the link's pipeline slot for the
 	// current tick, computed once per distinct delay value per tick
@@ -41,21 +54,25 @@ type dlink struct {
 	// around again.
 	pipe []flit.Flit
 	occ  []bool
-	// ctrl[s] carries the downstream STOP wish written at slot s, read by
-	// the sender delay ticks later.
-	ctrl []bool
-	// ctrlTrues counts STOP entries currently in the ctrl ring; the link
-	// must keep ticking until the ring is uniformly GO again, or a stale
-	// STOP could be (mis)read after an idle period.
+	// ctrl[s] carries the downstream per-lane STOP wishes written at slot
+	// s (bit v = lane v), read by the sender delay ticks later.
+	ctrl []uint8
+	// ctrlOnes[v] counts STOP bits for lane v currently in the ctrl ring;
+	// ctrlTrues is their sum.  The link must keep ticking until the ring
+	// is uniformly GO again (ctrlTrues == 0), or a stale STOP could be
+	// (mis)read after an idle period; a lane's reverse channel has settled
+	// when its count is 0 or delay.
+	ctrlOnes  [4]int32
 	ctrlTrues int
 	// inFlight counts occupied pipeline slots, so the fabric knows the
 	// link still holds data even when no slot is due for delivery.
 	inFlight int
 
-	// Exactly one of dstIn/dstHost is non-nil: the resolved delivery target,
-	// cached at construction so the per-flit delivery path skips the
-	// node-indexed lookups.
-	dstIn   *inPort
+	// Exactly one of dstIns/dstHost is non-nil: the resolved delivery
+	// target, cached at construction so the per-flit delivery path skips
+	// the node-indexed lookups.  dstIns holds the NumVCs input-port lanes
+	// of the receiving switch port; a flit is delivered to dstIns[fl.VC].
+	dstIns  []inPort
 	dstHost *hostIf
 
 	// carried counts flits that have crossed this link (utilization);
@@ -72,8 +89,13 @@ type dlink struct {
 	dstPort topology.PortID
 }
 
+// stopped reports whether lane vc is STOP-backpressured as seen from the
+// sending end.
+func (l *dlink) stopped(vc uint8) bool { return l.stopMask>>vc&1 != 0 }
+
 // send places a flit on the wire at the given tick.  The caller must send
-// at most one flit per link per tick; a second send is a model bug.
+// at most one flit per link per tick — across all lanes; a second send is
+// a model bug.
 func (l *dlink) send(now int64, fl flit.Flit) {
 	if l.dead {
 		// Black hole: the flit falls off the broken cable.  When the tail

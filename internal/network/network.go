@@ -16,6 +16,14 @@
 // Switch-level multicasting (Section 3) is implemented in three flavours
 // selected by Config.Scheme; see the MulticastScheme constants.
 //
+// Config.NumVCs splits every link into that many virtual-channel lanes:
+// each lane has its own slack buffer and STOP/GO state, and the physical
+// wire is multiplexed between ready lanes one flit per tick by a rotating-
+// priority lane scheduler.  Crossbar arbitration is either the classic
+// rotated port scan or an iSLIP request/grant/accept arbiter
+// (Config.Arb); with NumVCs == 1 and the scan the fabric is byte-for-byte
+// the VC-free model.  See DESIGN.md §13.
+//
 // The fabric is driven by a des.Kernel and advances one byte-time per tick.
 // Everything is deterministic: ports, switches, and links are always
 // scanned in index order, and arbitration uses a rotating round-robin
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"wormlan/internal/arb"
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
 	"wormlan/internal/rng"
@@ -70,6 +79,32 @@ func (s MulticastScheme) String() string {
 	}
 }
 
+// ArbPolicy selects the crossbar output-arbitration discipline.
+type ArbPolicy uint8
+
+const (
+	// ArbScan: the classic rotated port scan — inputs are visited in
+	// rotated ascending order and grab their outputs first-come.
+	ArbScan ArbPolicy = iota
+	// ArbISLIP: single-output (unicast) requests are arbitrated by a
+	// per-switch iSLIP request/grant/accept arbiter (internal/arb) after
+	// the routing scan; multi-output (replicating) requests keep the
+	// atomic all-or-nothing scan grant.
+	ArbISLIP
+)
+
+// String names the policy.
+func (a ArbPolicy) String() string {
+	switch a {
+	case ArbScan:
+		return "scan"
+	case ArbISLIP:
+		return "islip"
+	default:
+		return fmt.Sprintf("arb(%d)", uint8(a))
+	}
+}
+
 // Delivery describes one worm (or worm fragment set) fully received by a
 // host interface.
 type Delivery struct {
@@ -89,6 +124,34 @@ type Config struct {
 
 	// Scheme selects the switch-level multicast flavour.
 	Scheme MulticastScheme
+
+	// NumVCs is the number of virtual-channel lanes per link (1..4,
+	// default 1).  Each lane gets an independent slack buffer and STOP/GO
+	// reverse-channel bit; the physical wire carries one flit per tick,
+	// shared between ready lanes by a rotating-priority lane scheduler.
+	NumVCs int
+
+	// VCHeaders, when set, makes switches interpret unicast source-route
+	// bytes as vc<<6|port pairs (see internal/route.EncodeVCPort), so a
+	// route can steer each hop onto a chosen lane (e.g. dateline VC
+	// switching on a torus).  VC-headered fabrics are unicast-only:
+	// Inject rejects replicating worms, which keeps lanes above 0 free of
+	// multicast state.  When clear, route bytes are plain ports and all
+	// traffic rides lane 0, whatever NumVCs is.
+	VCHeaders bool
+
+	// Arb selects the crossbar arbitration policy; ArbIters is the iSLIP
+	// iteration count (default 1) and ArbSeed seeds the per-switch
+	// grant/accept pointer positions.  Ignored under ArbScan.
+	Arb      ArbPolicy
+	ArbIters int
+	ArbSeed  uint64
+
+	// DisableFastForward turns off the quiescent-steady-state Skip
+	// optimization (see fastforward.go), forcing tick-by-tick execution.
+	// The fast-forward exactness tests use it to compare both executions
+	// of one scenario; simulations never need it.
+	DisableFastForward bool
 
 	// IdleFlagTicks is the idle-fill duration after which an output port is
 	// flagged multicast-IDLE under SchemeFlushUnicast.  Default 64.
@@ -137,8 +200,17 @@ func (c *Config) withDefaults() Config {
 	if out.IdleFlagTicks == 0 {
 		out.IdleFlagTicks = 64
 	}
+	if out.NumVCs == 0 {
+		out.NumVCs = 1
+	}
+	if out.ArbIters == 0 {
+		out.ArbIters = 1
+	}
 	if out.GoMark > out.StopMark {
 		panic(fmt.Sprintf("network: GoMark %d above StopMark %d", out.GoMark, out.StopMark))
+	}
+	if out.NumVCs < 1 || out.NumVCs > 4 {
+		panic(fmt.Sprintf("network: NumVCs %d outside [1,4]", out.NumVCs))
 	}
 	return out
 }
@@ -190,6 +262,10 @@ type Fabric struct {
 	sw    []*swState // indexed by NodeID; nil for hosts
 	hosts []*hostIf  // indexed by NodeID; nil for switches
 
+	// nvc caches Cfg.NumVCs: lane index = port*nvc + vc everywhere a
+	// switch port array is indexed, and the hot paths branch on nvc > 1.
+	nvc int
+
 	// Active-element sets (see active.go): Tick visits only these indices.
 	linkAct bitset // indices into links
 	swAct   bitset // switch NodeIDs
@@ -206,7 +282,10 @@ type Fabric struct {
 	work     bool     // any activity (movement or held state) this tick
 	moved    bool     // any flit actually moved this tick
 	skipHold des.Time // fast-forward backoff: no Skip attempt before this tick
-	ctr      Counters
+	// Fast-forward diagnostics, deliberately outside Counters: a skipping
+	// and a non-skipping run must compare equal on every Counters field.
+	skips, skippedTicks int64
+	ctr                 Counters
 
 	// Failure state (see fault.go).
 	epoch   int64               // topology epoch, bumped on every fail/restore
@@ -240,50 +319,66 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 	}
 	f.sw = make([]*swState, len(g.Nodes))
 	f.hosts = make([]*hostIf, len(g.Nodes))
+	f.nvc = f.Cfg.NumVCs
+	nvc := f.nvc
 
 	// One directional link per wired (node, port); destination resolved to
-	// the peer's input side.
+	// the peer's input side.  Switch port arrays are lane-flattened: index
+	// port*nvc + vc, so with NumVCs == 1 lane indices are port indices and
+	// the whole model reduces to the VC-free fabric.
 	for ni := range g.Nodes {
 		n := &g.Nodes[ni]
 		switch n.Kind {
 		case topology.Switch:
 			s := &swState{node: n.ID, f: f}
-			s.in = make([]inPort, len(n.Ports))
-			s.out = make([]outPort, len(n.Ports))
-			s.routeIns = newBitset(len(n.Ports))
-			s.boundIns = newBitset(len(n.Ports))
-			s.dirtyIns = newBitset(len(n.Ports))
-			s.pendIns = newBitset(len(n.Ports))
-			s.deadIns = newBitset(len(n.Ports))
-			for pi := range n.Ports {
-				s.out[pi].boundIn = -1
-				s.in[pi].f = f
-				s.in[pi].sw = s
-				s.in[pi].idx = pi
+			lanes := len(n.Ports) * nvc
+			s.in = make([]inPort, lanes)
+			s.out = make([]outPort, lanes)
+			s.routeIns = newBitset(lanes)
+			s.boundIns = newBitset(lanes)
+			s.dirtyIns = newBitset(lanes)
+			s.pendIns = newBitset(lanes)
+			s.deadIns = newBitset(lanes)
+			for li := range s.in {
+				s.out[li].boundIn = -1
+				s.out[li].vc = uint8(li % nvc)
+				s.out[li].base = li - li%nvc
+				s.in[li].f = f
+				s.in[li].sw = s
+				s.in[li].idx = li
+				s.in[li].vc = uint8(li % nvc)
+			}
+			if cfg.Arb == ArbISLIP {
+				s.arb = arb.New(lanes, lanes, f.Cfg.ArbIters,
+					f.Cfg.ArbSeed+uint64(n.ID))
+				s.arbLanes = make([]int, 0, lanes)
+				s.arbMark = make([]bool, lanes)
 			}
 			f.sw[ni] = s
 		case topology.Host:
 			f.hosts[ni] = &hostIf{node: n.ID, f: f}
 		}
 	}
-	// The per-link pipeline rings and per-port slack rings are carved from
-	// three shared slabs: one allocation each instead of three per link,
-	// and the rings end up cache-adjacent in construction order.
-	var pipeFlits, boolSlots, slackFlits int
+	// The per-link pipeline rings and per-lane slack rings are carved from
+	// shared slabs: one allocation each instead of several per link, and
+	// the rings end up cache-adjacent in construction order.
+	var pipeFlits, boolSlots, ctrlSlots, slackFlits int
 	for ni := range g.Nodes {
 		for _, p := range g.Nodes[ni].Ports {
 			if !p.Wired() {
 				continue
 			}
 			pipeFlits += int(p.Delay)
-			boolSlots += 2 * int(p.Delay)
+			boolSlots += int(p.Delay)
+			ctrlSlots += int(p.Delay)
 			if f.sw[p.Peer] != nil {
-				slackFlits += f.Cfg.StopMark + 2*int(p.Delay)
+				slackFlits += nvc * (f.Cfg.StopMark + 2*int(p.Delay))
 			}
 		}
 	}
 	pipeSlab := make([]flit.Flit, pipeFlits)
 	boolSlab := make([]bool, boolSlots)
+	ctrlSlab := make([]uint8, ctrlSlots)
 	slackSlab := make([]flit.Flit, slackFlits)
 
 	for ni := range g.Nodes {
@@ -299,9 +394,10 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 				srcNode: n.ID, srcPort: topology.PortID(pi),
 				dstNode: p.Peer, dstPort: p.PeerPort,
 			}
+			l.grantTick = -1
 			l.pipe, pipeSlab = pipeSlab[:l.delay:l.delay], pipeSlab[l.delay:]
 			l.occ, boolSlab = boolSlab[:l.delay:l.delay], boolSlab[l.delay:]
-			l.ctrl, boolSlab = boolSlab[:l.delay:l.delay], boolSlab[l.delay:]
+			l.ctrl, ctrlSlab = ctrlSlab[:l.delay:l.delay], ctrlSlab[l.delay:]
 			l.dc = -1
 			for i, d := range f.delays {
 				if d == int64(l.delay) {
@@ -316,19 +412,25 @@ func New(k *des.Kernel, g *topology.Graph, ud *updown.Routing, cfg Config) (*Fab
 			}
 			f.links = append(f.links, l)
 			if s := f.sw[ni]; s != nil {
-				s.out[pi].link = l
+				for v := 0; v < nvc; v++ {
+					s.out[pi*nvc+v].link = l
+				}
 			} else {
 				f.hosts[ni].outLink = l
 			}
-			// Destination side bookkeeping.
+			// Destination side bookkeeping: every lane of the receiving
+			// port gets its own slack ring on the shared arrival link.
 			if s := f.sw[p.Peer]; s != nil {
-				in := &s.in[p.PeerPort]
-				in.inLink = l
-				in.cap = f.Cfg.StopMark + 2*l.delay
-				in.slack, slackSlab = slackSlab[:in.cap:in.cap], slackSlab[in.cap:]
-				in.stopMark = f.Cfg.StopMark
-				in.goMark = f.Cfg.GoMark
-				l.dstIn = in
+				base := int(p.PeerPort) * nvc
+				l.dstIns = s.in[base : base+nvc : base+nvc]
+				for v := 0; v < nvc; v++ {
+					in := &s.in[base+v]
+					in.inLink = l
+					in.cap = f.Cfg.StopMark + 2*l.delay
+					in.slack, slackSlab = slackSlab[:in.cap:in.cap], slackSlab[in.cap:]
+					in.stopMark = f.Cfg.StopMark
+					in.goMark = f.Cfg.GoMark
+				}
 			} else {
 				l.dstHost = f.hosts[p.Peer]
 			}
@@ -356,6 +458,12 @@ func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
 	}
 	if w.Mode == flit.Broadcast && f.UD == nil {
 		return fmt.Errorf("network: broadcast worm without up/down routing")
+	}
+	if f.Cfg.VCHeaders && w.Mode != flit.Unicast {
+		// VC-headered route bytes only exist for unicast worms; keeping
+		// replicating traffic out guarantees lanes above 0 never carry
+		// multicast crossbar state.
+		return fmt.Errorf("network: %v worm on a VC-headered fabric (VC routing is unicast-only)", w.Mode)
 	}
 	w.Created = f.K.Now()
 	w.Epoch = f.epoch
@@ -409,7 +517,7 @@ func (f *Fabric) Tick(now des.Time) bool {
 			return // a dead link delivers nothing, in either direction
 		}
 		slot := f.delaySlots[l.dc]
-		l.stopAtSender = l.ctrl[slot]
+		l.stopMask = l.ctrl[slot]
 		if l.occ[slot] {
 			f.work = true
 			f.moved = true
@@ -422,15 +530,15 @@ func (f *Fabric) Tick(now des.Time) bool {
 				// Control symbol: consumed here, never enters slack buffers
 				// or reassemblers.
 				f.helloRecv(l, now)
-			case l.dstIn != nil:
-				l.dstIn.receive(fl)
+			case l.dstIns != nil:
+				l.dstIns[fl.VC].receive(fl)
 			default:
 				l.dstHost.receive(fl, now)
 			}
 		}
 		if l.inFlight > 0 {
 			f.work = true
-		} else if l.ctrlTrues == 0 && !l.stopAtSender {
+		} else if l.ctrlTrues == 0 && l.stopMask == 0 {
 			// Empty pipe, clean reverse channel: every future tick is a
 			// no-op until the next send or STOP write re-activates.
 			l.active = false
@@ -513,17 +621,21 @@ func (f *Fabric) Tick(now des.Time) bool {
 					}
 				}
 				slot := f.delaySlots[l.dc]
-				if l.ctrl[slot] != in.stopWish {
-					l.ctrl[slot] = in.stopWish
+				bit := uint8(1) << in.vc
+				if (l.ctrl[slot]&bit != 0) != in.stopWish {
 					if in.stopWish {
+						l.ctrl[slot] |= bit
+						l.ctrlOnes[in.vc]++
 						l.ctrlTrues++
 						f.activateLink(l)
 					} else {
+						l.ctrl[slot] &^= bit
+						l.ctrlOnes[in.vc]--
 						l.ctrlTrues--
 					}
 				}
-				if (in.stopWish && l.ctrlTrues == l.delay) ||
-					(!in.stopWish && l.ctrlTrues == 0) {
+				if (in.stopWish && int(l.ctrlOnes[in.vc]) == l.delay) ||
+					(!in.stopWish && l.ctrlOnes[in.vc] == 0) {
 					s.pendIns.clear(pi)
 				} else {
 					s.pendIns.set(pi)

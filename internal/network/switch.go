@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"wormlan/internal/arb"
 	"wormlan/internal/des"
 	"wormlan/internal/flit"
 	"wormlan/internal/route"
@@ -46,11 +47,15 @@ const (
 	opInterrupted
 )
 
-// inPort is a crossbar input with its slack buffer and routing state.
+// inPort is a crossbar input lane with its slack buffer and routing state.
+// A physical switch port owns Fabric.nvc consecutive lanes (idx = physical
+// port * nvc + vc); with NumVCs == 1 lane and port indices coincide.
 type inPort struct {
 	f   *Fabric
 	sw  *swState
 	idx int
+	// vc is this lane's virtual-channel id within its physical port.
+	vc uint8
 
 	// Slack ring buffer (Figure 1).
 	slack []flit.Flit
@@ -162,10 +167,17 @@ func (in *inPort) setMode(m portMode) {
 	}
 }
 
-// outPort is a crossbar output.
+// outPort is a crossbar output lane; sibling lanes of one physical port
+// share the same link, whose wire the lane scheduler multiplexes (see
+// swState.laneGrant).
 type outPort struct {
 	link    *dlink
-	boundIn int // input index, -1 when free
+	boundIn int // input lane index, -1 when free
+
+	// vc is the lane id within the physical port; base is the lane index
+	// of the port's lane 0 (so base+vc is this lane's own index).
+	vc   uint8
+	base int
 
 	phase     outPhase
 	prefix    []byte // branch header still to stamp
@@ -237,6 +249,15 @@ type swState struct {
 	// crossbar outputs.  Both replace per-tick port scans in phase 4.
 	wishPorts  int
 	nBoundOuts int
+
+	// arb is the iSLIP arbiter under Config.Arb == ArbISLIP (nil under the
+	// scan policy).  arbLanes collects the input lanes whose single-output
+	// grants were deferred to the post-scan scheduling cell this tick;
+	// arbMark mirrors membership so results apply in ascending lane order
+	// regardless of the rotated collection order.
+	arb      *arb.ISLIP
+	arbLanes []int
+	arbMark  []bool
 }
 
 // route advances the head-of-worm state machines of every input port:
@@ -250,14 +271,36 @@ func (s *swState) route(now des.Time) {
 	// contending for the same outputs.  routeIns holds exactly the ports
 	// for which routeInput is not a no-op (bound/idle-empty ports are
 	// excluded), so iterating the mask in rotated order visits the same
-	// ports in the same order as the full rotating scan did.
+	// ports in the same order as the full rotating scan did.  The start
+	// index rotates over physical ports (scaled to lane 0), so a multi-VC
+	// fabric carrying lane-0-only traffic visits ports in exactly the
+	// NumVCs == 1 order.
 	if s.routeIns.empty() {
 		return
 	}
-	start := int(now % int64(n))
+	if s.arb != nil {
+		s.arbLanes = s.arbLanes[:0]
+	}
+	nvc := s.f.nvc
+	start := int(now%int64(n/nvc)) * nvc
 	s.routeIns.forEachFrom(start, func(pi int) {
 		s.routeInput(&s.in[pi], now)
 	})
+	if s.arb != nil && len(s.arbLanes) > 0 {
+		s.islipArbitrate(now)
+	}
+}
+
+// laneFor maps a unicast route byte to an output lane index: a plain port
+// byte lands on the port's lane 0, and a VC-headered fabric
+// (Config.VCHeaders) unpacks vc<<6|port pairs.
+func (s *swState) laneFor(b byte) int {
+	f := s.f
+	if f.Cfg.VCHeaders {
+		port, vc := route.DecodeVCPort(b)
+		return port*f.nvc + vc
+	}
+	return int(b) * f.nvc
 }
 
 func (s *swState) routeInput(in *inPort, now des.Time) {
@@ -287,7 +330,7 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 		switch fl.W.Mode {
 		case flit.Unicast:
 			b := in.pop()
-			in.reqOuts = append(in.reqOuts[:0], int(b.B))
+			in.reqOuts = append(in.reqOuts[:0], s.laneFor(b.B))
 			in.reqStamps = append(in.reqStamps[:0], nil)
 			in.setMode(pmWait)
 		case flit.Broadcast:
@@ -301,8 +344,9 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 					return
 				}
 			} else {
-				// Still on the unicast prefix toward the root.
-				in.reqOuts = append(in.reqOuts[:0], int(b.B))
+				// Still on the unicast prefix toward the root; broadcast
+				// prefixes are plain port bytes on lane 0.
+				in.reqOuts = append(in.reqOuts[:0], int(b.B)*s.f.nvc)
 				in.reqStamps = append(in.reqStamps[:0], nil)
 			}
 			in.setMode(pmWait)
@@ -315,15 +359,15 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 			return
 		}
 		if in.mode == pmWait {
-			s.tryGrant(in, now)
+			s.grantOrDefer(in, now)
 		}
 	case pmCollect:
 		s.collect(in)
 		if in.mode == pmWait {
-			s.tryGrant(in, now)
+			s.grantOrDefer(in, now)
 		}
 	case pmWait:
-		s.tryGrant(in, now)
+		s.grantOrDefer(in, now)
 	case pmFlush:
 		// Drain everything available; a Backward Reset clears the path
 		// without per-byte pacing.
@@ -408,7 +452,7 @@ func (s *swState) collect(in *inPort) {
 		if len(stamp) == 1 && stamp[0] == route.End {
 			stamp = nil // host delivery: no header on the exiting copy
 		}
-		in.reqOuts = append(in.reqOuts, int(sp.Port))
+		in.reqOuts = append(in.reqOuts, int(sp.Port)*s.f.nvc)
 		in.reqStamps = append(in.reqStamps, stamp)
 	}
 	in.setMode(pmWait)
@@ -426,30 +470,28 @@ func (s *swState) collect(in *inPort) {
 func (s *swState) broadcastBranches(arrival int) (outs []int, stamps [][]byte) {
 	ud := s.f.UD
 	g := s.f.G
+	nvc := s.f.nvc
 	for pi, p := range g.Node(s.node).Ports {
-		if !p.Wired() || s.out[pi].link.dead {
+		if !p.Wired() || s.out[pi*nvc].link.dead {
 			continue
 		}
 		if g.Node(p.Peer).Kind == topology.Host {
-			outs = append(outs, pi)
+			outs = append(outs, pi*nvc)
 			stamps = append(stamps, nil)
 			continue
 		}
 		if ud.InTree(s.node, topology.PortID(pi)) && !ud.IsUp(s.node, topology.PortID(pi)) {
-			outs = append(outs, pi)
+			outs = append(outs, pi*nvc)
 			stamps = append(stamps, []byte{route.BroadcastPort})
 		}
 	}
 	return outs, stamps
 }
 
-// tryGrant performs all-or-nothing output arbitration for the input's
-// request.  Granting atomically prevents partial-hold deadlocks between
-// replicating worms within one switch.
-func (s *swState) tryGrant(in *inPort, now des.Time) {
-	// Prune branches whose output link has died since the route was
-	// computed (a stale source route).  A worm with no surviving branch is
-	// drained and counted dropped.
+// pruneStale drops request branches whose output link has died since the
+// route was computed (a stale source route), and reports false when the
+// worm lost every branch and was drained.
+func (s *swState) pruneStale(in *inPort) bool {
 	pruned := false
 	liveOuts := in.reqOuts[:0]
 	liveStamps := in.reqStamps[:0]
@@ -476,27 +518,87 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 			in.setMode(pmDrop)
 			in.blocked = false
 			s.drainDrop(in)
+			return false
+		}
+	}
+	return true
+}
+
+// bindRequested commits a granted request: binds every requested output to
+// the input lane and moves the lane to its streaming mode.
+func (s *swState) bindRequested(in *inPort) {
+	for i, oi := range in.reqOuts {
+		s.out[oi].bind(in.idx, in.reqStamps[i])
+	}
+	s.nBoundOuts += len(in.reqOuts)
+	in.outs = append(in.outs[:0], in.reqOuts...)
+	if len(in.outs) == 1 && in.worm.Mode == flit.Unicast {
+		in.ou = &s.out[in.outs[0]]
+		in.setMode(pmBoundUni)
+	} else {
+		in.setMode(pmBoundMC)
+	}
+}
+
+// flushIfMCIdle applies the SchemeFlushUnicast rule: a unicast worm
+// blocked by an output that has been idle-filling on behalf of a multicast
+// past the flag threshold is flushed (Backward Reset).  Reports whether
+// the worm was flushed.
+func (s *swState) flushIfMCIdle(in *inPort, now des.Time) bool {
+	if s.f.Cfg.Scheme != SchemeFlushUnicast || in.worm.Mode != flit.Unicast {
+		return false
+	}
+	for _, oi := range in.reqOuts {
+		o := &s.out[oi]
+		if o.boundIn >= 0 &&
+			s.in[o.boundIn].mode == pmBoundMC &&
+			o.idleTicks >= s.f.Cfg.IdleFlagTicks {
+			s.flush(in, now)
+			return true
+		}
+	}
+	return false
+}
+
+// grantOrDefer arbitrates a pmWait input.  Under the scan policy (and for
+// every multi-output request, which needs the scan's atomic all-or-nothing
+// grant) it grants immediately in scan order; under ArbISLIP single-output
+// requests are deferred to the post-scan iSLIP scheduling cell.
+func (s *swState) grantOrDefer(in *inPort, now des.Time) {
+	if s.arb != nil && len(in.reqOuts) == 1 {
+		// Prune every tick even while deferred, so stale routes into dead
+		// links are noticed as promptly as under the scan.
+		if !s.pruneStale(in) || len(in.reqOuts) != 1 {
+			if in.mode == pmWait {
+				s.tryGrant(in, now)
+			}
 			return
 		}
+		s.arbLanes = append(s.arbLanes, in.idx)
+		s.arbMark[in.idx] = true
+		return
+	}
+	s.tryGrant(in, now)
+}
+
+// tryGrant performs all-or-nothing output arbitration for the input's
+// request.  Granting atomically prevents partial-hold deadlocks between
+// replicating worms within one switch.
+func (s *swState) tryGrant(in *inPort, now des.Time) {
+	if !s.pruneStale(in) {
+		return
 	}
 	free := true
 	for _, oi := range in.reqOuts {
-		o := &s.out[oi]
-		if o.boundIn >= 0 {
+		if s.out[oi].boundIn >= 0 {
 			free = false
-			// SchemeFlushUnicast: a unicast worm blocked by a port that
-			// has been idle-filling on behalf of a multicast gets flushed
-			// (Backward Reset); the source retransmits after a timeout.
-			if s.f.Cfg.Scheme == SchemeFlushUnicast &&
-				in.worm.Mode == flit.Unicast &&
-				s.in[o.boundIn].mode == pmBoundMC &&
-				o.idleTicks >= s.f.Cfg.IdleFlagTicks {
-				s.flush(in, now)
-				return
-			}
+			break
 		}
 	}
 	if !free {
+		if s.flushIfMCIdle(in, now) {
+			return
+		}
 		if !in.blocked {
 			in.blocked = true
 			if s.f.rec != nil {
@@ -511,16 +613,50 @@ func (s *swState) tryGrant(in *inPort, now des.Time) {
 			s.f.emit(now, trace.EvResumed, s.node, in.idx, in.worm.ID, int64(len(in.reqOuts)))
 		}
 	}
-	for i, oi := range in.reqOuts {
-		s.out[oi].bind(in.idx, in.reqStamps[i])
+	s.bindRequested(in)
+}
+
+// islipArbitrate runs one iSLIP scheduling cell over the input lanes whose
+// grants were deferred this tick, then applies the matching in ascending
+// lane order (binds, Blocked/Resumed bookkeeping) so the observable event
+// order is independent of the rotated collection order.
+func (s *swState) islipArbitrate(now des.Time) {
+	a := s.arb
+	a.Begin()
+	for _, li := range s.arbLanes {
+		a.Request(li, s.in[li].reqOuts)
 	}
-	s.nBoundOuts += len(in.reqOuts)
-	in.outs = append(in.outs[:0], in.reqOuts...)
-	if len(in.outs) == 1 && in.worm.Mode == flit.Unicast {
-		in.ou = &s.out[in.outs[0]]
-		in.setMode(pmBoundUni)
-	} else {
-		in.setMode(pmBoundMC)
+	m := a.Match(func(o int) bool {
+		op := &s.out[o]
+		return op.boundIn < 0 && !op.link.dead
+	})
+	n := len(s.arbLanes)
+	for li := 0; n > 0 && li < len(s.in); li++ {
+		if !s.arbMark[li] {
+			continue
+		}
+		s.arbMark[li] = false
+		n--
+		in := &s.in[li]
+		if m[li] < 0 {
+			if s.flushIfMCIdle(in, now) {
+				continue
+			}
+			if !in.blocked {
+				in.blocked = true
+				if s.f.rec != nil {
+					s.f.emit(now, trace.EvBlocked, s.node, in.idx, in.worm.ID, 1)
+				}
+			}
+			continue
+		}
+		if in.blocked {
+			in.blocked = false
+			if s.f.rec != nil {
+				s.f.emit(now, trace.EvResumed, s.node, in.idx, in.worm.ID, 1)
+			}
+		}
+		s.bindRequested(in)
 	}
 }
 
@@ -563,7 +699,15 @@ func (s *swState) transmit(now des.Time) {
 		switch in.mode {
 		case pmBoundUni:
 			o := in.ou
-			if o.link.stopAtSender {
+			if f.nvc > 1 && s.laneGrant(o.link, o.base, now) != int8(o.vc) {
+				// A sibling lane owns the wire this tick (or none is
+				// ready); a stopped lane's wait still counts as a stall.
+				if o.link.stopped(o.vc) {
+					o.link.stalled++
+				}
+				return
+			}
+			if o.link.stopped(o.vc) {
 				o.link.stalled++
 				return
 			}
@@ -571,6 +715,9 @@ func (s *swState) transmit(now des.Time) {
 				return
 			}
 			fl := in.pop()
+			// Re-tag with the outgoing lane: a VC-switching route (e.g.
+			// dateline crossing) may move the worm between lanes.
+			fl.VC = o.vc
 			o.link.send(now, fl)
 			f.moved = true
 			f.ctr.FlitsCarried++
@@ -589,6 +736,40 @@ func (s *swState) transmit(now des.Time) {
 	})
 }
 
+// laneGrant returns the lane granted the physical wire of link l this
+// tick, computing the decision once per link per tick (cached on the
+// link).  The scheduler is a stateless rotating priority: starting from
+// now % nvc, the first ready bound lane wins.  Ready means unstopped with
+// a flit (or prefix byte) to send.  Multicast bindings always ride lane 0
+// and never share a wire with sibling lanes (VC-headered fabrics are
+// unicast-only), so only pmBoundUni lanes compete here.  Statelessness
+// matters: replay and fast-forward need no scheduler state to repair.
+func (s *swState) laneGrant(l *dlink, base int, now des.Time) int8 {
+	if l.grantTick == now {
+		return l.grantVC
+	}
+	l.grantTick = now
+	nvc := s.f.nvc
+	start := int(now % int64(nvc))
+	for k := 0; k < nvc; k++ {
+		v := start + k
+		if v >= nvc {
+			v -= nvc
+		}
+		o := &s.out[base+v]
+		if o.boundIn < 0 || o.phase == opInterrupted || l.stopped(uint8(v)) {
+			continue
+		}
+		if o.phase == opPayload && s.in[o.boundIn].fill == 0 {
+			continue
+		}
+		l.grantVC = int8(v)
+		return l.grantVC
+	}
+	l.grantVC = -1
+	return -1
+}
+
 func (s *swState) transmitMC(in *inPort, now des.Time) {
 	// Stage 1: branches still stamping their headers send prefix bytes
 	// independently.  Shared payload cannot advance until every branch has
@@ -600,7 +781,7 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			continue
 		}
 		anyPrefix = true
-		if o.link.stopAtSender {
+		if o.link.stopped(0) {
 			o.link.stalled++
 		} else {
 			b := o.prefix[o.prefixPos]
@@ -621,7 +802,7 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 	anyStopped := false
 	for _, oi := range in.outs {
 		o := &s.out[oi]
-		if o.phase == opPayload && o.link.stopAtSender {
+		if o.phase == opPayload && o.link.stopped(0) {
 			anyStopped = true
 			o.link.stalled++
 		}
@@ -634,7 +815,7 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			// resumption (Section 3, scheme (b)/(c)).
 			for _, oi := range in.outs {
 				o := &s.out[oi]
-				if o.phase == opPayload && !o.link.stopAtSender {
+				if o.phase == opPayload && !o.link.stopped(0) {
 					o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Tail})
 					s.f.moved = true
 					s.f.ctr.FlitsCarried++
@@ -650,7 +831,7 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			// IDLE symbols (modelled as silence).
 			for _, oi := range in.outs {
 				o := &s.out[oi]
-				if o.phase == opPayload && !o.link.stopAtSender {
+				if o.phase == opPayload && !o.link.stopped(0) {
 					o.idleTicks++
 					if o.idleTicks == s.f.Cfg.IdleFlagTicks && s.f.rec != nil {
 						s.f.emit(now, trace.EvMCIdle, s.node, oi, in.worm.ID, int64(o.idleTicks))

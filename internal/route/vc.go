@@ -1,0 +1,49 @@
+package route
+
+import (
+	"fmt"
+
+	"wormlan/internal/topology"
+)
+
+// Virtual-channel header encoding.
+//
+// A fabric running with per-link virtual channels (network.Config.VCHeaders)
+// interprets each unicast source-route byte as a (lane, port) pair packed as
+//
+//	byte = vc<<6 | port
+//
+// leaving 6 bits of port space (0..63) and 2 bits of lane space (0..3).
+// The packing is chosen so that lane 0 is the identity encoding: a plain
+// port byte decodes to (port, lane 0), which is exactly how a VC-oblivious
+// route reads on a VC-enabled fabric.  Encoded bytes must stay clear of the
+// End (0xFF) and BroadcastPort (0xFE) markers, which restricts lanes 2..3
+// to ports 0..61; the dateline routing scheme only ever uses lanes 0..1.
+
+// VCShift is the bit position of the lane id inside a VC-encoded route byte.
+const VCShift = 6
+
+// MaxVCPort is the largest port number encodable alongside a lane id.
+const MaxVCPort = (1 << VCShift) - 1
+
+// EncodeVCPort packs an output port and a virtual-channel lane into one
+// unicast route byte.
+func EncodeVCPort(p topology.PortID, vc int) (byte, error) {
+	if p < 0 || int(p) > MaxVCPort {
+		return 0, fmt.Errorf("route: port %d not encodable with a VC lane (max %d)", p, MaxVCPort)
+	}
+	if vc < 0 || vc > 3 {
+		return 0, fmt.Errorf("route: VC lane %d out of range [0,3]", vc)
+	}
+	b := byte(vc)<<VCShift | byte(p)
+	if b >= BroadcastPort {
+		return 0, fmt.Errorf("route: VC-encoded byte 0x%02x for port %d lane %d collides with a marker", b, p, vc)
+	}
+	return b, nil
+}
+
+// DecodeVCPort splits a VC-encoded unicast route byte into its output port
+// and lane.
+func DecodeVCPort(b byte) (port int, vc int) {
+	return int(b & MaxVCPort), int(b >> VCShift)
+}

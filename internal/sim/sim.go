@@ -21,6 +21,7 @@ import (
 	"wormlan/internal/trace"
 	"wormlan/internal/traffic"
 	"wormlan/internal/updown"
+	"wormlan/internal/vcroute"
 )
 
 // forceTrace force-enables tracing (into a bounded ring) and metrics for
@@ -95,6 +96,18 @@ type Config struct {
 	Adapter adapter.Config
 	// Network overrides the fabric defaults.
 	Network network.Config
+
+	// Route selects the unicast routing scheme: "" or "updown" (the
+	// deadlock-free spanning-tree routing the paper assumes), "vcmin"
+	// (VC-partitioned minimal torus routing with dateline lane switching;
+	// needs TorusGeom and at least two virtual channels — see
+	// internal/vcroute), or "fullmesh" (direct routing over a pairwise-
+	// adjacent switch mesh, deadlock-free without VCs).  The alternative
+	// schemes are unicast-only and support no topology-change recovery.
+	Route string `json:"route,omitempty"`
+	// TorusGeom supplies the torus geometry for Route == "vcmin"; build
+	// the Graph with topology.TorusWithGeom to obtain it.
+	TorusGeom *topology.TorusGeom `json:"-"`
 
 	// Tracer, when non-nil, receives the run's worm-lifecycle and protocol
 	// event stream (see internal/trace).  Tracing observes; it never
@@ -196,6 +209,41 @@ type Results struct {
 	EndTime des.Time
 }
 
+// validateRoute rejects Config combinations the alternative routing
+// schemes cannot honour.  The vcmin and fullmesh tables are unicast-only
+// (multicast needs the Hamiltonian/tree embeddings or tree-restricted
+// switch replication, all of which assume up/down routes) and static:
+// recovery from a topology change recomputes up/down routes, which would
+// silently abandon the scheme mid-run.  Corruption and host-stall faults
+// change no routes and stay allowed.
+func validateRoute(cfg *Config) error {
+	switch cfg.Route {
+	case "", "updown":
+		return nil
+	case "vcmin", "fullmesh":
+	default:
+		return fmt.Errorf("sim: unknown route scheme %q (want updown, vcmin, or fullmesh)", cfg.Route)
+	}
+	if cfg.MulticastProb != 0 || cfg.NumGroups > 0 || cfg.Groups != nil {
+		return fmt.Errorf("sim: route %q is unicast-only (multicast traffic configured)", cfg.Route)
+	}
+	if cfg.Scheme.SwitchLevel {
+		return fmt.Errorf("sim: route %q is incompatible with switch-level replication (tree-restricted routing required)", cfg.Route)
+	}
+	if cfg.FaultPlan != nil {
+		for _, ev := range cfg.FaultPlan.Events {
+			switch ev.Kind {
+			case fault.LinkDown, fault.LinkUp, fault.SwitchDown, fault.SwitchUp:
+				return fmt.Errorf("sim: route %q has no topology-change recovery (fault plan schedules %s)", cfg.Route, ev.Kind)
+			}
+		}
+	}
+	if cfg.Detect == fault.DetectHello {
+		return fmt.Errorf("sim: route %q does not support hello detection (suspicion recovery recomputes up/down routes)", cfg.Route)
+	}
+	return nil
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Results, error) {
 	if cfg.Graph == nil {
@@ -213,12 +261,11 @@ func Run(cfg Config) (*Results, error) {
 	if (cfg.FaultPlan != nil || cfg.Detect == fault.DetectHello) && cfg.Scheme.SwitchLevel {
 		return nil, fmt.Errorf("sim: fault injection and hello detection are not supported with switch-level replication (no recovery protocol)")
 	}
-	k := des.NewKernel()
-	ud, err := updown.New(cfg.Graph, topology.None)
-	if err != nil {
+	if err := validateRoute(&cfg); err != nil {
 		return nil, err
 	}
-	table, err := ud.NewTable(false)
+	k := des.NewKernel()
+	ud, err := updown.New(cfg.Graph, topology.None)
 	if err != nil {
 		return nil, err
 	}
@@ -233,11 +280,30 @@ func Run(cfg Config) (*Results, error) {
 		}
 		metricsOn = true
 	}
+	// The network config must be settled before table construction: the
+	// vcmin table encodes lane numbers that the fabric only understands
+	// with VCHeaders on and enough lanes configured.
 	ncfg := cfg.Network
 	if ncfg.Recorder == nil {
 		ncfg.Recorder = tracer
 	}
 	ncfg.Metrics = ncfg.Metrics || metricsOn
+	var table *updown.Table
+	switch cfg.Route {
+	case "", "updown":
+		table, err = ud.NewTable(false)
+	case "vcmin":
+		if ncfg.NumVCs < 2 {
+			ncfg.NumVCs = 2
+		}
+		ncfg.VCHeaders = true
+		table, err = vcroute.TorusMinimal(cfg.Graph, cfg.TorusGeom, ncfg.NumVCs)
+	case "fullmesh":
+		table, err = vcroute.FullMesh(cfg.Graph)
+	}
+	if err != nil {
+		return nil, err
+	}
 	fab, err := network.New(k, cfg.Graph, ud, ncfg)
 	if err != nil {
 		return nil, err

@@ -16,6 +16,35 @@ import (
 // host ports.  The layout is deterministic, so source routes are stable
 // across runs.
 func Torus(rows, cols, hostsPerSwitch int, linkDelay int64) *Graph {
+	g, _ := TorusWithGeom(rows, cols, hostsPerSwitch, linkDelay)
+	return g
+}
+
+// TorusGeom records the coordinate system of a torus built by
+// TorusWithGeom: which port of each switch leads in each ring direction,
+// and where the hosts attach.  Routing schemes that need geometry the graph
+// alone does not expose — dimension-order minimal routing with dateline VC
+// switching — consume this instead of re-deriving directions from node IDs.
+type TorusGeom struct {
+	Rows, Cols, HostsPer int
+
+	// Sw[r][c] is the switch at row r, column c.
+	Sw [][]NodeID
+	// XPlus[r][c] / XMinus[r][c] are the ports of Sw[r][c] toward column
+	// c+1 / c-1 (mod Cols); YPlus/YMinus likewise for rows.  For a
+	// degenerate 2-wide dimension both directions share the single cable.
+	XPlus, XMinus [][]PortID
+	YPlus, YMinus [][]PortID
+	// HostPort[r][c][h] is the port of Sw[r][c] leading to its h-th host,
+	// whose node id is Hosts[r][c][h].
+	HostPort [][][]PortID
+	Hosts    [][][]NodeID
+}
+
+// TorusWithGeom builds the same graph as Torus and additionally returns its
+// geometry.  The construction order — and therefore every node and port id —
+// is identical to Torus's.
+func TorusWithGeom(rows, cols, hostsPerSwitch int, linkDelay int64) (*Graph, *TorusGeom) {
 	if rows < 2 || cols < 2 {
 		panic("topology: torus needs rows, cols >= 2")
 	}
@@ -23,11 +52,24 @@ func Torus(rows, cols, hostsPerSwitch int, linkDelay int64) *Graph {
 		linkDelay = 1
 	}
 	g := New()
-	sw := make([][]NodeID, rows)
+	geo := &TorusGeom{Rows: rows, Cols: cols, HostsPer: hostsPerSwitch}
+	geo.Sw = make([][]NodeID, rows)
+	geo.XPlus = make([][]PortID, rows)
+	geo.XMinus = make([][]PortID, rows)
+	geo.YPlus = make([][]PortID, rows)
+	geo.YMinus = make([][]PortID, rows)
+	geo.HostPort = make([][][]PortID, rows)
+	geo.Hosts = make([][][]NodeID, rows)
 	for r := 0; r < rows; r++ {
-		sw[r] = make([]NodeID, cols)
+		geo.Sw[r] = make([]NodeID, cols)
+		geo.XPlus[r] = make([]PortID, cols)
+		geo.XMinus[r] = make([]PortID, cols)
+		geo.YPlus[r] = make([]PortID, cols)
+		geo.YMinus[r] = make([]PortID, cols)
+		geo.HostPort[r] = make([][]PortID, cols)
+		geo.Hosts[r] = make([][]NodeID, cols)
 		for c := 0; c < cols; c++ {
-			sw[r][c] = g.AddSwitch(fmt.Sprintf("s%d.%d", r, c))
+			geo.Sw[r][c] = g.AddSwitch(fmt.Sprintf("s%d.%d", r, c))
 		}
 	}
 	for r := 0; r < rows; r++ {
@@ -35,23 +77,82 @@ func Torus(rows, cols, hostsPerSwitch int, linkDelay int64) *Graph {
 			// Right neighbour (wraps). For cols==2 the wrap link would
 			// duplicate the direct link; skip the second one.
 			if cols > 2 || c == 0 {
-				g.Connect(sw[r][c], sw[r][(c+1)%cols], linkDelay)
+				c2 := (c + 1) % cols
+				pa, pb := g.Connect(geo.Sw[r][c], geo.Sw[r][c2], linkDelay)
+				geo.XPlus[r][c] = pa
+				geo.XMinus[r][c2] = pb
+				if cols == 2 {
+					// One cable serves both directions of the 2-ring.
+					geo.XMinus[r][c] = pa
+					geo.XPlus[r][c2] = pb
+				}
 			}
 		}
 	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if rows > 2 || r == 0 {
-				g.Connect(sw[r][c], sw[(r+1)%rows][c], linkDelay)
+				r2 := (r + 1) % rows
+				pa, pb := g.Connect(geo.Sw[r][c], geo.Sw[r2][c], linkDelay)
+				geo.YPlus[r][c] = pa
+				geo.YMinus[r2][c] = pb
+				if rows == 2 {
+					geo.YMinus[r][c] = pa
+					geo.YPlus[r2][c] = pb
+				}
 			}
 		}
 	}
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
+			geo.HostPort[r][c] = make([]PortID, hostsPerSwitch)
+			geo.Hosts[r][c] = make([]NodeID, hostsPerSwitch)
 			for h := 0; h < hostsPerSwitch; h++ {
 				host := g.AddHost(fmt.Sprintf("h%d.%d.%d", r, c, h))
-				g.Connect(sw[r][c], host, 1)
+				pa, _ := g.Connect(geo.Sw[r][c], host, 1)
+				geo.HostPort[r][c][h] = pa
+				geo.Hosts[r][c][h] = host
 			}
+		}
+	}
+	return g, geo
+}
+
+// FullMesh builds nSwitches switches with a direct full-duplex cable
+// between every pair, and hostsPerSwitch hosts on each.  Every host pair is
+// then at most two switch hops apart (src switch -> dst switch -> host),
+// which makes plain shortest-path routing deadlock-free without virtual
+// channels: an inter-switch channel only ever waits on host-delivery
+// channels, which always drain (the direct-connect argument of
+// arXiv 2510.14730's full-mesh fabric).
+//
+// Port layout per switch k: cables to switches 0..k-1, then to k+1..n-1
+// (pair loop in ascending (i, j) order), then the host ports — fully
+// deterministic, like every other builder.
+func FullMesh(nSwitches, hostsPerSwitch int, linkDelay int64) *Graph {
+	if nSwitches < 2 {
+		panic("topology: full mesh needs >= 2 switches")
+	}
+	if hostsPerSwitch < 1 {
+		panic("topology: full mesh needs >= 1 host per switch")
+	}
+	if linkDelay == 0 {
+		linkDelay = 1
+	}
+	g := New()
+	sw := make([]NodeID, nSwitches)
+	for i := range sw {
+		sw[i] = g.AddSwitch(fmt.Sprintf("s%d", i))
+	}
+	for i := 0; i < nSwitches; i++ {
+		for j := i + 1; j < nSwitches; j++ {
+			g.Connect(sw[i], sw[j], linkDelay)
+		}
+	}
+	for i := 0; i < nSwitches; i++ {
+		for h := 0; h < hostsPerSwitch; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d.%d", i, h))
+			g.Connect(sw[i], host, 1)
 		}
 	}
 	return g

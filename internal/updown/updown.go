@@ -291,6 +291,27 @@ func (r *Routing) NewTable(treeOnly bool) (*Table, error) {
 	return t, nil
 }
 
+// NewCustomTable wraps externally computed routes (an alternative routing
+// scheme — e.g. VC-partitioned minimal torus routing or full-mesh direct
+// routing, see internal/vcroute) in a Table, so the adapter and simulation
+// layers consume every scheme through one type.  routes must be square
+// over hosts, with routes[i][j] the route from hosts[i] to hosts[j].
+func NewCustomTable(hosts []topology.NodeID, routes [][]Route) (*Table, error) {
+	if len(routes) != len(hosts) {
+		return nil, fmt.Errorf("updown: %d route rows for %d hosts", len(routes), len(hosts))
+	}
+	t := &Table{Hosts: hosts, index: make(map[topology.NodeID]int, len(hosts))}
+	for i, h := range hosts {
+		t.index[h] = i
+		if len(routes[i]) != len(hosts) {
+			return nil, fmt.Errorf("updown: route row %d has %d entries for %d hosts",
+				i, len(routes[i]), len(hosts))
+		}
+	}
+	t.routes = routes
+	return t, nil
+}
+
 // Lookup returns the precomputed route from src to dst.
 func (t *Table) Lookup(src, dst topology.NodeID) Route {
 	return t.routes[t.index[src]][t.index[dst]]
