@@ -303,6 +303,8 @@ func (q *Queue) lowerHorizon(t int64) {
 
 func (q *Queue) recycle(e *Event) {
 	e.gen++
+	e.Time = 0
+	e.seq = 0
 	e.Fire = nil
 	e.pos = -1
 	e.prev = nil

@@ -72,6 +72,80 @@ func TestWheelMatchesHeapReference(t *testing.T) {
 	}
 }
 
+// FuzzWheelVsHeapWithCancels extends the tape language with cancellation:
+// each byte schedules, cancels a previously issued handle (possibly one
+// that already fired — Cancel must be a no-op then), or pops.  Cancels
+// stress the wheel's handle generation counters and free-list recycling;
+// far-future deltas force level cascades whose buckets must drop canceled
+// events without disturbing FIFO order among survivors.
+func FuzzWheelVsHeapWithCancels(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0x80, 0xFF})
+	f.Add([]byte{7, 7, 0x81, 7, 0xFF, 0xFF, 0x80})
+	f.Add([]byte{0x29, 3, 3, 0x82, 0xFF, 0x28, 0xFF, 0xFF})
+	f.Add([]byte{1, 0x2F, 0x80, 0x81, 0x82, 0xFF, 2, 0xFF})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var wheel Queue
+		var heap heapref.Queue
+		var wheelOrder, heapOrder []int
+		var handles []Handle
+		var refs []*heapref.Event
+		now := int64(0)
+		for i, b := range tape {
+			switch {
+			case b == 0xFF:
+				if wheel.Len() == 0 {
+					continue
+				}
+				if wt, ht := wheel.PeekTime(), heap.PeekTime(); wt != ht {
+					t.Fatalf("op %d: PeekTime wheel=%d heap=%d", i, wt, ht)
+				}
+				we := wheel.Pop()
+				now = we.Time
+				we.Fire()
+				heap.Pop().Fire()
+				wheel.Free(we)
+			case b&0xC0 == 0x80:
+				if len(handles) == 0 {
+					continue
+				}
+				j := int(b&0x3F) % len(handles)
+				wheel.Cancel(handles[j])
+				heap.Cancel(refs[j])
+			default:
+				// Near deltas for same-time pileups; bit 5 selects a
+				// per-level far time to cross cascade boundaries.
+				d := int64(b & 15)
+				if b&0x20 != 0 {
+					d = int64(1) << (8 * uint(b&3))
+				}
+				id := i
+				handles = append(handles, wheel.Schedule(now+d, func() { wheelOrder = append(wheelOrder, id) }))
+				refs = append(refs, heap.Schedule(now+d, func() { heapOrder = append(heapOrder, id) }))
+			}
+			if wheel.Len() != heap.Len() {
+				t.Fatalf("op %d: Len wheel=%d heap=%d", i, wheel.Len(), heap.Len())
+			}
+		}
+		for wheel.Len() > 0 {
+			we := wheel.Pop()
+			we.Fire()
+			wheel.Free(we)
+			heap.Pop().Fire()
+		}
+		if heap.Len() != 0 {
+			t.Fatalf("heap holds %d events after wheel drained", heap.Len())
+		}
+		if len(wheelOrder) != len(heapOrder) {
+			t.Fatalf("wheel fired %d events, heap fired %d", len(wheelOrder), len(heapOrder))
+		}
+		for i := range wheelOrder {
+			if wheelOrder[i] != heapOrder[i] {
+				t.Fatalf("pop %d: wheel fired event %d, heap fired event %d", i, wheelOrder[i], heapOrder[i])
+			}
+		}
+	})
+}
+
 // FuzzSameTimestampFIFO feeds arbitrary byte strings as operation tapes:
 // each byte either schedules at one of a handful of timestamps (forcing
 // heavy same-timestamp collisions) or pops.  Both implementations must

@@ -80,10 +80,22 @@ func runHotAlloc(p *Pass) error {
 			if isConstructorName(fd.Name.Name) {
 				continue
 			}
-			annotated, justified := p.allocAt(fd.Pos())
-			if annotated && !justified {
-				p.Reportf(fd.Pos(), "bare //wormlint:alloc marker: a justification explaining why this function may allocate is required")
-			} else if annotated {
+			m := p.markerAt(markerAlloc, fd.Pos())
+			if m != nil && !m.justified() {
+				p.reportBare(m, fd.Pos(), "a justification explaining why this function may allocate is required")
+			} else if m != nil {
+				// Function-level exemption: scan the body anyway with
+				// reporting swallowed so -audit learns whether the marker
+				// still excuses a real allocation (line-level markers
+				// inside keep their own use bits).
+				found := 0
+				saved := p.Report
+				p.Report = func(Diagnostic) { found++ }
+				checkAllocBody(p, fd)
+				p.Report = saved
+				if found > 0 {
+					m.use()
+				}
 				continue
 			}
 			checkAllocBody(p, fd)
@@ -143,12 +155,13 @@ func checkAllocBody(p *Pass, fd *ast.FuncDecl) {
 // allocReport reports an allocation finding at pos unless a justified
 // `//wormlint:alloc` marker covers the line.
 func (p *Pass) allocReport(pos token.Pos, what string) {
-	annotated, justified := p.allocAt(pos)
-	if annotated && !justified {
-		p.Reportf(pos, "bare //wormlint:alloc marker: a justification for the allocation is required")
+	m := p.markerAt(markerAlloc, pos)
+	if m != nil && !m.justified() {
+		p.reportBare(m, pos, "a justification for the allocation is required")
 		return
 	}
-	if annotated {
+	if m != nil {
+		m.use()
 		return
 	}
 	p.Reportf(pos, "%s in a zero-alloc package: reuse a field, pooled buffer, or preallocated slab, or annotate with //wormlint:alloc <why>", what)

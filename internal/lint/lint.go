@@ -10,8 +10,10 @@
 // after-the-fact equivalence testing can prove its absence.  wormlint
 // makes the contract machine-checked.
 //
-// Five analyzers run; the first four over the deterministic packages (see
-// Scope), the fifth over the zero-alloc packages:
+// Nine analyzers run; the first four guard determinism over the
+// deterministic packages (see Scope), hotalloc and poolreset guard the
+// zero-alloc pooling discipline, and the remaining three enforce
+// repo-specific API contracts:
 //
 //   - maporder: flags `for range` over map types unless the loop is a
 //     pure key-collect (append keys to a slice, to be sorted) or carries
@@ -34,6 +36,23 @@
 //     per-call heap allocations — make/new, escaping composite literals,
 //     append growth on slices born empty in the function — must sit in a
 //     constructor or carry a `//wormlint:alloc <justification>` comment.
+//   - poolreset: a pooled object's reset/recycle function must assign
+//     every field the package mutates elsewhere, or annotate the skipped
+//     field with `//wormlint:keep <justification>` — stale state must
+//     not survive pool recycling.
+//   - portbyte: VC route bytes are encoded and decoded only by
+//     internal/route (EncodeVCPort/DecodeVCPort); hand-rolled `<<6`,
+//     `>>6`, `&0x3f`, `&0xc0` arithmetic on bytes elsewhere is flagged.
+//   - traceguard: every trace.Recorder emission (direct Record call or
+//     call to an emit helper) must be dominated by a `rec != nil` guard
+//     on the same recorder, so tracing stays free when disabled.
+//   - kindswitch: switches over the registered enum types (flit.Kind,
+//     flit.Mode, trace.Kind, fault.Kind) must be exhaustive, carry a
+//     default, or carry `//wormlint:partial <justification>`.
+//
+// Every //wormlint:* escape hatch is tracked: `wormlint -audit` inverts
+// the suite and reports markers that no longer suppress any diagnostic
+// (plus unknown marker names), so the annotations cannot rot.
 //
 // The suite is stdlib-only (go/ast + go/types); it deliberately does not
 // depend on golang.org/x/tools so the repo stays dependency-free.
@@ -70,8 +89,10 @@ type Pass struct {
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
 
-	ordered map[*ast.File]orderedIndex
-	alloc   map[*ast.File]orderedIndex
+	// markers indexes the package's //wormlint:* annotations, shared by
+	// every pass over the package so use-tracking (for -audit)
+	// accumulates across the whole suite.
+	markers *markerSet
 }
 
 // A Diagnostic is one finding, positioned for file:line:col display.
@@ -88,7 +109,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers is the full wormlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, WallClock, SeedDiscipline, NoGoroutine, HotAlloc}
+	return []*Analyzer{
+		MapOrder, WallClock, SeedDiscipline, NoGoroutine, HotAlloc,
+		PoolReset, PortByte, TraceGuard, KindSwitch,
+	}
 }
 
 // Lookup returns the analyzer with the given name, or nil.
@@ -105,14 +129,8 @@ func Lookup(name string) *Analyzer {
 // returns the diagnostics sorted by position.  files must belong to fset;
 // test files (name ending in _test.go) are filtered out here.
 func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var nonTest []*ast.File
-	for _, f := range files {
-		name := fset.Position(f.Package).Filename
-		if strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		nonTest = append(nonTest, f)
-	}
+	nonTest := dropTestFiles(fset, files)
+	markers := collectMarkers(fset, nonTest)
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -122,6 +140,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
+			markers:   markers,
 		}
 		if err := a.Run(pass); err != nil {
 			return diags, fmt.Errorf("%s: %w", a.Name, err)
@@ -129,6 +148,20 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 	}
 	sortDiagnostics(fset, diags)
 	return diags, nil
+}
+
+// dropTestFiles filters out _test.go files: the contract governs the
+// simulator, not its test harnesses.
+func dropTestFiles(fset *token.FileSet, files []*ast.File) []*ast.File {
+	var nonTest []*ast.File
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		nonTest = append(nonTest, f)
+	}
+	return nonTest
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {

@@ -1,6 +1,9 @@
 package lint
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestMapOrderGolden(t *testing.T) {
 	runAnalyzers(t, "a/internal/sim", MapOrder)
@@ -20,6 +23,64 @@ func TestNoGoroutineGolden(t *testing.T) {
 
 func TestHotAllocGolden(t *testing.T) {
 	runAnalyzers(t, "a/internal/network", HotAlloc)
+}
+
+func TestPoolResetGolden(t *testing.T) {
+	runAnalyzers(t, "b/internal/eventq", PoolReset)
+}
+
+func TestPortByteGolden(t *testing.T) {
+	runAnalyzers(t, "b/internal/network", PortByte)
+}
+
+func TestTraceGuardGolden(t *testing.T) {
+	runAnalyzers(t, "b/internal/adapter", TraceGuard)
+}
+
+func TestKindSwitchGolden(t *testing.T) {
+	runAnalyzers(t, "b/internal/sim", KindSwitch)
+}
+
+// TestRouteExemptFromPortByte: the codec package itself owns the bit
+// layout; the same expressions that are contraband elsewhere are its
+// implementation.
+func TestRouteExemptFromPortByte(t *testing.T) {
+	runAnalyzers(t, "b/internal/route", PortByte)
+}
+
+// TestAuditPackage runs the audit mode over a package holding one live
+// marker, one stale marker, and one unknown marker name, and expects
+// exactly the latter two flagged, at the marker lines, in line order.
+func TestAuditPackage(t *testing.T) {
+	l := newTestLoader(t)
+	p := l.load("b/internal/updown")
+	if p.err != nil {
+		t.Fatalf("loading testdata: %v", p.err)
+	}
+	diags, err := AuditPackage(l.fset, p.files, p.pkg, p.info, Analyzers())
+	if err != nil {
+		t.Fatalf("AuditPackage: %v", err)
+	}
+	want := []struct {
+		line int
+		frag string
+	}{
+		{18, "stale //wormlint:ordered marker"},
+		{25, "unknown //wormlint:bogus marker"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d audit diagnostics, want %d: %v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		pos := l.fset.Position(diags[i].Pos)
+		if pos.Line != w.line || !strings.Contains(diags[i].Message, w.frag) {
+			t.Errorf("diag %d = %s:%d %q, want line %d containing %q",
+				i, pos.Filename, pos.Line, diags[i].Message, w.line, w.frag)
+		}
+		if diags[i].Analyzer != "audit" {
+			t.Errorf("diag %d analyzer = %q, want %q", i, diags[i].Analyzer, "audit")
+		}
+	}
 }
 
 // TestSweepAllowlist runs the ENTIRE suite over a package shaped like the
@@ -42,6 +103,8 @@ func TestScope(t *testing.T) {
 		"wormlan/internal/sim":                    true,
 		"wormlan/internal/des":                    true,
 		"wormlan/internal/adapter":                true,
+		"wormlan/internal/arb":                    true,
+		"wormlan/internal/vcroute":                true,
 		"wormlan/internal/sweep":                  false,
 		"wormlan/internal/emu":                    false,
 		"wormlan/internal/lint":                   false,

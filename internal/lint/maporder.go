@@ -47,15 +47,18 @@ func runMapOrder(p *Pass) error {
 		if _, isMap := t.Underlying().(*types.Map); !isMap {
 			return true
 		}
-		annotated, justified := p.orderedAt(rs.Pos())
-		if annotated && !justified {
-			p.Reportf(rs.Pos(), "bare //wormlint:ordered marker: a justification explaining why the loop body is order-insensitive is required")
+		m := p.markerAt(markerOrdered, rs.Pos())
+		if m != nil && !m.justified() {
+			p.reportBare(m, rs.Pos(), "a justification explaining why the loop body is order-insensitive is required")
 			return true
 		}
-		if annotated {
-			return true
-		}
+		// The key-collect idiom needs no annotation; a justified marker on
+		// such a loop suppresses nothing and stays unused for -audit.
 		if keyCollectLoop(p, rs) {
+			return true
+		}
+		if m != nil {
+			m.use()
 			return true
 		}
 		p.Reportf(rs.Pos(), "range over map is nondeterministic: iterate sorted keys, use the key-collect idiom, or annotate an order-insensitive body with //wormlint:ordered <why>")

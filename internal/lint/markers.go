@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// wormlint's escape hatches are `//wormlint:<name> <justification>`
+// comments on (or immediately above) the construct they exempt.  The
+// justification is mandatory everywhere: a bare marker is itself a
+// diagnostic.  Every marker is tracked for use so `wormlint -audit` can
+// flag annotations that no longer suppress anything.
+const (
+	// markerOrdered exempts a provably order-insensitive map iteration
+	// from maporder.
+	markerOrdered = "ordered"
+	// markerAlloc exempts a justified allocation (line or whole function)
+	// from hotalloc.
+	markerAlloc = "alloc"
+	// markerPartial exempts a deliberately non-exhaustive enum switch
+	// from kindswitch.
+	markerPartial = "partial"
+	// markerKeep, on a struct field declaration, exempts the field from
+	// poolreset's every-field reset requirement (state that deliberately
+	// survives recycling).
+	markerKeep = "keep"
+	// markerUnguarded exempts a trace emission site from traceguard's
+	// rec != nil dominance requirement.
+	markerUnguarded = "unguarded"
+)
+
+// markerAnalyzer maps each marker name to the analyzer it suppresses,
+// for audit messages.
+var markerAnalyzer = map[string]string{
+	markerOrdered:   "maporder",
+	markerAlloc:     "hotalloc",
+	markerPartial:   "kindswitch",
+	markerKeep:      "poolreset",
+	markerUnguarded: "traceguard",
+}
+
+// markerPrefix introduces every wormlint annotation comment.
+const markerPrefix = "wormlint:"
+
+// A marker is one parsed `//wormlint:<name> <justification>` comment,
+// with a use bit the analyzers set when the marker actually suppresses a
+// would-be diagnostic (or is itself reported as bare).  AuditPackage
+// flags markers whose bit never sets.
+type marker struct {
+	name          string
+	justification string
+	pos           token.Pos
+	line          int
+	used          bool
+}
+
+func (m *marker) justified() bool { return m.justification != "" }
+
+// use records that the marker earned its keep this run.
+func (m *marker) use() { m.used = true }
+
+// A markerSet indexes every wormlint marker of one package's non-test
+// files.  It is built once per package and shared by all analyzer passes
+// so use-tracking accumulates across the whole suite.
+type markerSet struct {
+	byFile map[*ast.File]map[int][]*marker
+	all    []*marker
+}
+
+// collectMarkers parses the wormlint annotations out of files' comments.
+// Unknown marker names are collected too (never usable, so audit flags
+// them).
+func collectMarkers(fset *token.FileSet, files []*ast.File) *markerSet {
+	ms := &markerSet{byFile: make(map[*ast.File]map[int][]*marker)}
+	for _, f := range files {
+		idx := make(map[int][]*marker)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, markerPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, markerPrefix)
+				name, just, _ := strings.Cut(rest, " ")
+				m := &marker{
+					name:          name,
+					justification: strings.TrimSpace(just),
+					pos:           c.Pos(),
+					line:          fset.Position(c.Pos()).Line,
+				}
+				idx[m.line] = append(idx[m.line], m)
+				ms.all = append(ms.all, m)
+			}
+		}
+		ms.byFile[f] = idx
+	}
+	return ms
+}
+
+// markerAt returns the marker with the given name annotating the node at
+// pos — on the same line or the line immediately above — or nil.  The
+// caller decides whether a hit counts as use: call m.use() only when the
+// marker suppresses (or replaces, for bare markers) a diagnostic.
+func (p *Pass) markerAt(name string, pos token.Pos) *marker {
+	f := p.fileOf(pos)
+	if f == nil {
+		return nil
+	}
+	idx := p.markers.byFile[f]
+	line := p.Fset.Position(pos).Line
+	for _, l := range [2]int{line, line - 1} {
+		for _, m := range idx[l] {
+			if m.name == name {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// reportBare emits the mandatory-justification diagnostic for a bare
+// marker at the annotated construct's position and counts the marker as
+// used (it is already surfacing a finding; audit must not flag it a
+// second time).
+func (p *Pass) reportBare(m *marker, pos token.Pos, what string) {
+	m.use()
+	p.Reportf(pos, "bare //wormlint:%s marker: %s", m.name, what)
+}
+
+// AuditPackage runs the analyzers over one package with reporting
+// swallowed, purely for their marker-use side effects, then reports every
+// marker that suppressed nothing: stale escape hatches that outlived the
+// code they excused, and markers with unknown names.  The returned
+// diagnostics carry the pseudo-analyzer name "audit".
+func AuditPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	nonTest := dropTestFiles(fset, files)
+	markers := collectMarkers(fset, nonTest)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     nonTest,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(Diagnostic) {},
+			markers:   markers,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	var diags []Diagnostic
+	for _, m := range markers.all {
+		if m.used {
+			continue
+		}
+		an, known := markerAnalyzer[m.name]
+		var msg string
+		if !known {
+			msg = "unknown //wormlint:" + m.name + " marker (known: " + knownMarkerList() + ")"
+		} else {
+			msg = "stale //wormlint:" + m.name + " marker: it no longer suppresses any " + an + " diagnostic — remove it"
+		}
+		diags = append(diags, Diagnostic{Analyzer: "audit", Pos: m.pos, Message: msg})
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func knownMarkerList() string {
+	names := make([]string, 0, len(markerAnalyzer))
+	for n := range markerAnalyzer {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

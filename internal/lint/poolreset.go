@@ -1,0 +1,433 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// PoolReset guards the object-pooling discipline the zero-alloc contract
+// invites: Event structs cycle through the eventq free list, Worms
+// through flit.WormPool, streams and input ports are reset in place.  A
+// hand-written reset that misses one field leaks state from a previous
+// occupant into the next — the classic stale-state bug, invisible to
+// tests until a rare interleaving makes the leftover value load-bearing,
+// and a direct threat to replay determinism.
+//
+// In the zero-alloc packages, a function or method named exactly Reset,
+// reset, Recycle, recycle, Get, or get that performs field assignments on
+// a pointer to a package-local struct is a whole-object reset by
+// contract (partial resets must take other names, e.g. resetRx).  Its
+// target is the variable receiving the most field writes (ties prefer
+// the receiver).  The analyzer requires it to assign every field of the
+// target's type that the package mutates outside its constructors
+// (New*/new*) and outside the type's reset functions themselves — fields
+// written only at construction are identity, not state.  Coverage
+// follows same-package calls on the target, so a reset that delegates
+// (in.setMode(pmIdle)) gets credit for the fields the callee assigns,
+// and a whole-struct assignment `*x = T{...}` covers every field at
+// once.
+//
+// A `//wormlint:keep <justification>` comment on the struct field's
+// declaration exempts state that deliberately survives recycling; the
+// justification is mandatory.
+var PoolReset = &Analyzer{
+	Name: "poolreset",
+	Doc:  "verifies pool reset/recycle functions assign every mutated field",
+	Run:  runPoolReset,
+}
+
+// resetNames are the exact function names the pooling contract reserves
+// for whole-object resets.
+var resetNames = map[string]bool{
+	"Reset": true, "reset": true,
+	"Recycle": true, "recycle": true,
+	"Get": true, "get": true,
+}
+
+func runPoolReset(p *Pass) error {
+	if !inAllocScope(p.Pkg.Path()) {
+		return nil
+	}
+	pr := newPoolReset(p)
+
+	// Identify every candidate: (reset function, target variable, type).
+	type candidate struct {
+		fd     *ast.FuncDecl
+		target *types.Var
+		typ    *types.Named
+	}
+	var candidates []candidate
+	resetFuncs := make(map[*types.Named]map[*ast.FuncDecl]bool)
+	for _, fd := range pr.funcs {
+		if !resetNames[fd.Name.Name] {
+			continue
+		}
+		target := pr.resetTarget(fd)
+		if target == nil {
+			continue
+		}
+		named := localStructType(p, target.Type())
+		candidates = append(candidates, candidate{fd, target, named})
+		if resetFuncs[named] == nil {
+			resetFuncs[named] = make(map[*ast.FuncDecl]bool)
+		}
+		resetFuncs[named][fd] = true
+	}
+
+	for _, c := range candidates {
+		required := pr.mutatedFields(c.typ, resetFuncs[c.typ])
+		covered, all := pr.assignedFields(c.fd, c.target, nil)
+		if all {
+			continue
+		}
+		var missing []string
+		for f := range required {
+			if !covered[f] {
+				missing = append(missing, f)
+			}
+		}
+		sort.Strings(missing)
+		var unexcused []string
+		for _, f := range missing {
+			pos := pr.fieldPos(c.typ, f)
+			m := p.markerAt(markerKeep, pos)
+			if m != nil && !m.justified() {
+				p.reportBare(m, pos, "a justification explaining why the field may survive pool recycling is required")
+				continue
+			}
+			if m != nil {
+				m.use()
+				continue
+			}
+			unexcused = append(unexcused, f)
+		}
+		if len(unexcused) > 0 {
+			p.Reportf(c.fd.Pos(), "reset function %s leaves %s of %s unassigned: stale state survives pool recycling — assign the field(s) or annotate the declaration(s) with //wormlint:keep <why>",
+				c.fd.Name.Name, fieldList(unexcused), c.typ.Obj().Name())
+		}
+	}
+	return nil
+}
+
+func fieldList(names []string) string {
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = "field " + n
+	}
+	if len(quoted) == 1 {
+		return quoted[0]
+	}
+	return strings.Join(quoted[:len(quoted)-1], ", ") + " and " + quoted[len(quoted)-1]
+}
+
+type poolReset struct {
+	p     *Pass
+	funcs []*ast.FuncDecl
+	// decl maps function objects to their declarations for transitive
+	// coverage through same-package calls.
+	decl map[*types.Func]*ast.FuncDecl
+}
+
+func newPoolReset(p *Pass) *poolReset {
+	pr := &poolReset{p: p, decl: make(map[*types.Func]*ast.FuncDecl)}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pr.funcs = append(pr.funcs, fd)
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				pr.decl[fn] = fd
+			}
+		}
+	}
+	return pr
+}
+
+// resetTarget picks the variable a reset function resets: the receiver,
+// parameter, or local of pointer-to-package-local-struct type with the
+// most direct field writes in the body (ties prefer the receiver).
+func (pr *poolReset) resetTarget(fd *ast.FuncDecl) *types.Var {
+	p := pr.p
+	writes := make(map[*types.Var]int)
+	countLHS := func(e ast.Expr) {
+		if v, _, ok := pr.fieldWrite(e); ok {
+			writes[v]++
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				countLHS(lhs)
+				// `*x = T{...}`: a whole-struct reset counts as writing
+				// every field.
+				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+					if v := pr.identVar(star.X); v != nil {
+						if named := localStructType(p, v.Type()); named != nil {
+							writes[v] += named.Underlying().(*types.Struct).NumFields()
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			countLHS(s.X)
+		}
+		return true
+	})
+	var recv *types.Var
+	if fd.Recv != nil && len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		recv, _ = p.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	}
+	// Deterministic selection: highest write count wins, the receiver
+	// breaks ties, then the lexicographically smallest name.
+	var best *types.Var
+	better := func(v *types.Var) bool {
+		if best == nil || writes[v] != writes[best] {
+			return best == nil || writes[v] > writes[best]
+		}
+		if (v == recv) != (best == recv) {
+			return v == recv
+		}
+		return v.Name() < best.Name()
+	}
+	for v := range writes { // order-insensitive: better() is a total order over candidates
+		if localStructType(p, v.Type()) == nil {
+			continue
+		}
+		if better(v) {
+			best = v
+		}
+	}
+	return best
+}
+
+// fieldWrite decomposes an assignable expression of the form id.f or
+// id.f[i] into (root variable, field name).
+func (pr *poolReset) fieldWrite(e ast.Expr) (*types.Var, string, bool) {
+	e = ast.Unparen(e)
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	v := pr.identVar(sel.X)
+	if v == nil {
+		return nil, "", false
+	}
+	return v, sel.Sel.Name, true
+}
+
+func (pr *poolReset) identVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pr.p.TypesInfo.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = pr.p.TypesInfo.Defs[id].(*types.Var)
+	}
+	return v
+}
+
+// localStructType returns t (or *t) as a named struct type declared in
+// the analyzed package, else nil.
+func localStructType(p *Pass, t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != p.Pkg {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return named
+}
+
+// mutatedFields returns the fields of typ assigned anywhere in the
+// package outside constructors and outside typ's own reset functions:
+// the state a reset must restore.
+func (pr *poolReset) mutatedFields(typ *types.Named, exclude map[*ast.FuncDecl]bool) map[string]bool {
+	p := pr.p
+	mutated := make(map[string]bool)
+	note := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			e = ast.Unparen(ix.X)
+		}
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		if localStructType(p, p.TypesInfo.TypeOf(sel.X)) != typ {
+			return
+		}
+		mutated[sel.Sel.Name] = true
+	}
+	for _, fd := range pr.funcs {
+		if exclude[fd] || isConstructorName(fd.Name.Name) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if s.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range s.Lhs {
+					note(lhs)
+				}
+			case *ast.IncDecStmt:
+				note(s.X)
+			}
+			return true
+		})
+	}
+	return mutated
+}
+
+// assignedFields returns the fields of v's type the function assigns,
+// following same-package calls that receive v (as receiver or argument).
+// all is true when a whole-struct assignment covers every field.
+func (pr *poolReset) assignedFields(fd *ast.FuncDecl, v *types.Var, seen map[*ast.FuncDecl]bool) (fields map[string]bool, all bool) {
+	if seen == nil {
+		seen = make(map[*ast.FuncDecl]bool)
+	}
+	if seen[fd] {
+		return nil, false
+	}
+	seen[fd] = true
+	fields = make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if all {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if fv, name, ok := pr.fieldWrite(lhs); ok && fv == v {
+					fields[name] = true
+				}
+				if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+					if pr.identVar(star.X) == v {
+						all = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if fv, name, ok := pr.fieldWrite(s.X); ok && fv == v {
+				fields[name] = true
+			}
+		case *ast.CallExpr:
+			callee, argIdx := pr.resolveCall(s, v)
+			if callee == nil {
+				return true
+			}
+			inner := pr.calleeVar(callee, argIdx)
+			if inner == nil {
+				return true
+			}
+			sub, subAll := pr.assignedFields(callee, inner, seen)
+			if subAll {
+				all = true
+				return false
+			}
+			for f := range sub {
+				fields[f] = true
+			}
+		}
+		return true
+	})
+	return fields, all
+}
+
+// resolveCall matches a call that hands v to a same-package function:
+// v.m(...) (argIdx -1 for the receiver) or f(..., v, ...).
+func (pr *poolReset) resolveCall(call *ast.CallExpr, v *types.Var) (*ast.FuncDecl, int) {
+	p := pr.p
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if pr.identVar(fun.X) != v {
+			return nil, 0
+		}
+		fn, _ := p.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if fn == nil {
+			return nil, 0
+		}
+		return pr.decl[fn], -1
+	case *ast.Ident:
+		fn, _ := p.TypesInfo.Uses[fun].(*types.Func)
+		if fn == nil {
+			return nil, 0
+		}
+		for i, arg := range call.Args {
+			if pr.identVar(arg) == v {
+				return pr.decl[fn], i
+			}
+		}
+	}
+	return nil, 0
+}
+
+// calleeVar maps a call's target slot (receiver or i'th parameter) to the
+// callee's corresponding variable.
+func (pr *poolReset) calleeVar(fd *ast.FuncDecl, argIdx int) *types.Var {
+	if argIdx < 0 {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+			return nil
+		}
+		v, _ := pr.p.TypesInfo.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+		return v
+	}
+	i := 0
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			if i == argIdx {
+				v, _ := pr.p.TypesInfo.Defs[name].(*types.Var)
+				return v
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+// fieldPos locates the declaration position of typ's field, for keep
+// markers; falls back to the type's position.
+func (pr *poolReset) fieldPos(typ *types.Named, field string) token.Pos {
+	p := pr.p
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != typ.Obj().Name() {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, fld := range st.Fields.List {
+					for _, name := range fld.Names {
+						if name.Name == field {
+							return name.Pos()
+						}
+					}
+				}
+			}
+		}
+	}
+	return typ.Obj().Pos()
+}

@@ -1,8 +1,6 @@
 package lint
 
 import (
-	"go/ast"
-	"go/token"
 	"strings"
 )
 
@@ -70,66 +68,5 @@ func rngScope(path string) bool {
 	return path == "internal/rng" || strings.HasSuffix(path, "/internal/rng")
 }
 
-// orderedMarker is the annotation that exempts a provably
-// order-insensitive map iteration from the maporder analyzer.  It must be
-// followed by a justification; a bare marker is itself a diagnostic.
-const orderedMarker = "wormlint:ordered"
-
-// allocMarker is the annotation that exempts a justified allocation from
-// the hotalloc analyzer.  Like orderedMarker, a bare marker is itself a
-// diagnostic.
-const allocMarker = "wormlint:alloc"
-
-// orderedIndex maps the line numbers carrying a marker comment to whether
-// the marker has a non-empty justification.
-type orderedIndex map[int]bool
-
-// orderedAt reports whether the statement starting at pos is annotated
-// with the ordered marker (same line or the line immediately above) and
-// whether that annotation carries a justification.
-func (p *Pass) orderedAt(pos token.Pos) (annotated, justified bool) {
-	return p.markerAt(orderedMarker, &p.ordered, pos)
-}
-
-// allocAt is orderedAt for the `//wormlint:alloc` marker.
-func (p *Pass) allocAt(pos token.Pos) (annotated, justified bool) {
-	return p.markerAt(allocMarker, &p.alloc, pos)
-}
-
-// markerAt reports whether the node starting at pos is annotated with the
-// given marker comment (same line or the line immediately above) and
-// whether that annotation carries a non-empty justification.  cache holds
-// the per-file line index, built on first use.
-func (p *Pass) markerAt(marker string, cache *map[*ast.File]orderedIndex, pos token.Pos) (annotated, justified bool) {
-	f := p.fileOf(pos)
-	if f == nil {
-		return false, false
-	}
-	if *cache == nil {
-		*cache = make(map[*ast.File]orderedIndex)
-	}
-	idx, ok := (*cache)[f]
-	if !ok {
-		idx = make(orderedIndex)
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, marker) {
-					continue
-				}
-				just := strings.TrimSpace(strings.TrimPrefix(text, marker))
-				idx[p.Fset.Position(c.Pos()).Line] = just != ""
-			}
-		}
-		(*cache)[f] = idx
-	}
-	line := p.Fset.Position(pos).Line
-	if j, ok := idx[line]; ok {
-		return true, j
-	}
-	if j, ok := idx[line-1]; ok {
-		return true, j
-	}
-	return false, false
-}
+// The //wormlint:* marker machinery lives in markers.go; escape hatches
+// are tracked for use there so `wormlint -audit` can flag stale ones.

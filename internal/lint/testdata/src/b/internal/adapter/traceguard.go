@@ -1,0 +1,98 @@
+// Golden tests for the traceguard analyzer: every trace.Recorder emission
+// must be dominated by a rec != nil guard, directly or at an emit helper's
+// call sites.
+package adapter
+
+import "b/internal/trace"
+
+type System struct {
+	rec trace.Recorder
+	n   int
+}
+
+// emit is the helper idiom: the unguarded receiver-rooted Record makes it
+// an emit helper, so its own body is excused and callers must guard.
+func (s *System) emit(k trace.Kind) {
+	s.n++
+	s.rec.Record(trace.Event{Kind: k, Arg: int64(s.n)})
+}
+
+func (s *System) guardedDirect() {
+	if s.rec != nil {
+		s.rec.Record(trace.Event{Kind: trace.EvA})
+	}
+}
+
+// A plain function has no receiver to excuse: unguarded Record is flagged.
+func report(r trace.Recorder) {
+	r.Record(trace.Event{Kind: trace.EvA}) // want `trace\.Recorder emission is not dominated by a rec != nil guard`
+}
+
+func reportGuarded(r trace.Recorder) {
+	if r != nil {
+		r.Record(trace.Event{Kind: trace.EvA})
+	}
+}
+
+type Agent struct {
+	sys *System
+}
+
+func (a *Agent) sendGuarded() {
+	if a.sys.rec != nil {
+		a.sys.emit(trace.EvA)
+	}
+}
+
+func (a *Agent) sendUnguarded() {
+	a.sys.emit(trace.EvB) // want `call to emit helper emit is not dominated by a rec != nil guard`
+}
+
+func (a *Agent) conjunct(ok bool) {
+	if ok && a.sys.rec != nil {
+		a.sys.emit(trace.EvA)
+	}
+}
+
+func (a *Agent) earlyReturn() {
+	if a.sys.rec == nil {
+		return
+	}
+	a.sys.emit(trace.EvA)
+}
+
+func (a *Agent) elseBranch() {
+	if a.sys.rec == nil {
+		a.sys.n = 0
+	} else {
+		a.sys.emit(trace.EvA)
+	}
+}
+
+// The guard does not survive into a function literal: the closure may run
+// after the recorder changes.
+func (a *Agent) closure() func() {
+	if a.sys.rec != nil {
+		return func() {
+			a.sys.emit(trace.EvA) // want `call to emit helper emit is not dominated by a rec != nil guard`
+		}
+	}
+	return nil
+}
+
+// A guard over a different recorder path does not cover this one.
+func crossGuard(a, b *System) {
+	if a.rec != nil {
+		b.emit(trace.EvA) // want `call to emit helper emit is not dominated by a rec != nil guard`
+	}
+}
+
+func (a *Agent) annotated() {
+	//wormlint:unguarded the harness wires a non-nil recorder at construction
+	a.sys.emit(trace.EvA)
+}
+
+func (a *Agent) bare() {
+	//wormlint:unguarded
+	a.sys.emit(trace.EvA) // want `bare //wormlint:unguarded marker`
+}

@@ -1,0 +1,128 @@
+// Golden tests for the poolreset analyzer: functions named Reset/reset/
+// Recycle/recycle/Get/get must assign every field the package mutates
+// outside constructors, or the next pool occupant inherits stale state.
+package eventq
+
+type Item struct {
+	Time int64
+	Fire func()
+	pos  int
+	next *Item
+	//wormlint:keep debug counter only: never read by the kernel, survives recycling by design
+	hits int
+}
+
+type Pool struct {
+	free *Item
+}
+
+// Place mutates Time/Fire/pos/next/hits outside any constructor, making
+// them required state for Item's reset functions.
+func (p *Pool) Place(it *Item, t int64, fire func()) {
+	it.Time = t
+	it.Fire = fire
+	it.pos = 1
+	it.next = nil
+	it.hits++
+}
+
+func (p *Pool) recycle(it *Item) { // want `reset function recycle leaves field Time of Item unassigned`
+	it.Fire = nil
+	it.pos = -1
+	it.next = p.free
+	p.free = it
+}
+
+// A complete field-by-field reset, including indexed element writes.
+type Buf struct {
+	head int
+	fill int
+	data []byte
+}
+
+func (b *Buf) push(x byte) {
+	b.data[b.fill] = x
+	b.fill++
+	b.head++
+}
+
+func (b *Buf) reset() {
+	b.head = 0
+	b.fill = 0
+	for i := range b.data {
+		b.data[i] = 0
+	}
+}
+
+// A whole-struct assignment covers every field at once.
+type Frame struct {
+	a, b, c int
+}
+
+func (f *Frame) use() {
+	f.a, f.b, f.c = 1, 2, 3
+}
+
+func (f *Frame) Reset() {
+	*f = Frame{}
+}
+
+// Delegation: reset gets credit for fields its same-package callee assigns.
+type Port struct {
+	mode int
+	fill int
+}
+
+func (p *Port) setMode(m int) {
+	p.mode = m
+}
+
+func (p *Port) advance() {
+	p.fill++
+	p.setMode(2)
+}
+
+func (p *Port) reset() {
+	p.fill = 0
+	p.setMode(0)
+}
+
+// The pool-Get idiom: *t = T{} on the recycled object is a full reset.
+type Thing struct {
+	x, y int
+}
+
+func (t *Thing) mutate() {
+	t.x++
+	t.y++
+}
+
+type ThingPool struct {
+	free []*Thing
+}
+
+func (p *ThingPool) Get() *Thing {
+	if n := len(p.free); n > 0 {
+		t := p.free[n-1]
+		p.free = p.free[:n-1]
+		*t = Thing{}
+		return t
+	}
+	return new(Thing)
+}
+
+// A keep marker without justification is itself flagged, at the field.
+type Slot struct {
+	val int
+	//wormlint:keep
+	gen int // want `bare //wormlint:keep marker`
+}
+
+func (s *Slot) touch() {
+	s.val++
+	s.gen++
+}
+
+func (s *Slot) reset() {
+	s.val = 0
+}

@@ -1,0 +1,21 @@
+// Package flit mirrors the real flit package's enum shapes for the
+// kindswitch golden tests: the analyzer registers enums by (path suffix,
+// type name), so this testdata package matches internal/flit.
+package flit
+
+type Kind uint8
+
+const (
+	Header Kind = iota
+	Payload
+	Tail
+	Hello
+)
+
+type Mode uint8
+
+const (
+	Unicast Mode = iota
+	MulticastTree
+	Broadcast
+)

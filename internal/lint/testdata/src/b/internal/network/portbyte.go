@@ -1,0 +1,31 @@
+// Golden tests for the portbyte analyzer: vc<<6|port bit arithmetic on
+// bytes belongs to internal/route alone.
+package network
+
+const vcShift = 6
+
+func pack(port, vc byte) byte {
+	return vc<<vcShift | port // want `shift by 6 on a byte`
+}
+
+func unpack(b byte) (port, vc int) {
+	return int(b & 0x3f), int(b >> 6) // want `mask 0x3f on a byte` `shift by 6 on a byte`
+}
+
+func laneBits(b byte) byte {
+	return b & 0xc0 // want `mask 0xc0 on a byte`
+}
+
+// Int-typed bitset math uses the same literals but is not VC packing.
+func bitset(words []uint64, i int) bool {
+	return words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func setBit(words []uint64, i int) {
+	words[i>>6] |= 1 << uint(i&63)
+}
+
+// Other shift widths and masks on bytes are fine too.
+func shift5(b byte) byte { return b << 5 }
+
+func lowNibble(b byte) byte { return b & 0x0f }

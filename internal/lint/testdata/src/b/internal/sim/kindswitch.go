@@ -1,0 +1,91 @@
+// Golden tests for the kindswitch analyzer: switches over registered
+// protocol enums must be exhaustive, carry a default, or justify the gap.
+package sim
+
+import "b/internal/flit"
+
+func exhaustive(k flit.Kind) int {
+	switch k {
+	case flit.Header:
+		return 1
+	case flit.Payload:
+		return 2
+	case flit.Tail:
+		return 3
+	case flit.Hello:
+		return 4
+	}
+	return 0
+}
+
+func withDefault(k flit.Kind) int {
+	switch k {
+	case flit.Header:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func missing(k flit.Kind) int {
+	switch k { // want `switch over flit\.Kind is not exhaustive: missing Hello`
+	case flit.Header, flit.Payload, flit.Tail:
+		return 1
+	}
+	return 0
+}
+
+func missingTwo(m flit.Mode) int {
+	switch m { // want `switch over flit\.Mode is not exhaustive: missing Broadcast, MulticastTree`
+	case flit.Unicast:
+		return 1
+	}
+	return 0
+}
+
+func justified(m flit.Mode) int {
+	//wormlint:partial broadcast is rejected upstream by config validation
+	switch m {
+	case flit.Unicast:
+		return 1
+	case flit.MulticastTree:
+		return 2
+	}
+	return 0
+}
+
+func bare(m flit.Mode) int {
+	//wormlint:partial
+	switch m { // want `bare //wormlint:partial marker`
+	case flit.Unicast:
+		return 1
+	}
+	return 0
+}
+
+type local uint8
+
+const (
+	la local = iota
+	lb
+)
+
+// Unregistered enums are out of contract: only flit/trace/fault kinds are.
+func unregistered(l local) int {
+	switch l {
+	case la:
+		return 1
+	}
+	return 0
+}
+
+// Non-identifier switch tags over a registered type still count.
+type carrier struct{ k flit.Kind }
+
+func viaField(c carrier) int {
+	switch c.k { // want `switch over flit\.Kind is not exhaustive: missing Payload, Tail`
+	case flit.Header, flit.Hello:
+		return 1
+	}
+	return 0
+}

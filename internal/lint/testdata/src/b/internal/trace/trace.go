@@ -1,0 +1,21 @@
+// Package trace mirrors the real trace package's Recorder shape for the
+// traceguard golden tests.
+package trace
+
+type Kind uint8
+
+const (
+	EvA Kind = iota
+	EvB
+)
+
+type Event struct {
+	Kind Kind
+	Arg  int64
+}
+
+// Recorder is the emission interface traceguard keys on: a nil Recorder
+// means tracing is disabled.
+type Recorder interface {
+	Record(Event)
+}

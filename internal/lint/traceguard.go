@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TraceGuard mechanizes the zero-cost-when-disabled tracing contract: a
+// disabled recorder is a nil trace.Recorder, and every emission site in
+// the deterministic packages pays for tracing only behind an explicit
+// `rec != nil` check.  One unguarded Record call either panics with
+// tracing off or — worse — forces the field to hold a non-nil no-op
+// recorder, putting an interface call on the per-flit hot path that the
+// benchmarks pinned out in PR 5.
+//
+// The analyzer flags:
+//
+//   - calls to Record on a value whose static type is the trace.Recorder
+//     interface, unless dominated by a nil check of the same expression
+//     (an enclosing `if x.rec != nil`, a conjunct of one, or a preceding
+//     `if x.rec == nil { return }`), and
+//   - calls to an emit helper — a method whose body performs an
+//     unguarded Record on a recorder field of its own receiver, the
+//     repo's idiom for centralizing Event construction — unless the call
+//     is dominated by the matching nil check (caller of s.f.emit must
+//     hold s.f.rec != nil).  The helper's internal Record call is the
+//     helper's callers' responsibility and is not itself flagged.
+//
+// A `//wormlint:unguarded <justification>` comment on (or above) the
+// call line exempts a site where the recorder is provably non-nil; the
+// justification is mandatory.
+var TraceGuard = &Analyzer{
+	Name: "traceguard",
+	Doc:  "requires rec != nil guards dominating every trace.Recorder emission",
+	Run:  runTraceGuard,
+}
+
+func runTraceGuard(p *Pass) error {
+	path := p.Pkg.Path()
+	if !InScope(path) || isTracePkg(path) {
+		return nil
+	}
+	tg := &traceguard{p: p, helpers: make(map[*types.Func]string)}
+
+	// Phase 1: find the emit helpers — methods with an unguarded Record
+	// on a recorder path rooted at their own receiver.  Their suffix
+	// (".rec" for a Record on f.rec with receiver f) is what callers must
+	// guard, prefixed with the callee expression.
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverObj(p, fd)
+			if recv == nil {
+				continue
+			}
+			fn, _ := p.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			tg.collect = func(call *ast.CallExpr, root types.Object, suffix string) {
+				if root == recv && tg.helpers[fn] == "" {
+					tg.helpers[fn] = suffix
+				}
+			}
+			tg.walkBody(fd, nil)
+		}
+	}
+
+	// Phase 2: re-walk every function, flagging unguarded Record calls
+	// (except a helper's own excused site) and unguarded helper calls.
+	tg.collect = nil
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			tg.walkBody(fd, receiverObj(p, fd))
+		}
+	}
+	return nil
+}
+
+// isTracePkg reports whether path is the tracing package itself, which
+// owns the Recorder implementations and is exempt.
+func isTracePkg(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path == "internal/trace" || strings.HasSuffix(path, "/internal/trace")
+}
+
+type traceguard struct {
+	p       *Pass
+	helpers map[*types.Func]string // emit helper -> receiver-relative recorder suffix
+	// collect, when set (phase 1), receives each unguarded Record call
+	// instead of reporting it.
+	collect func(call *ast.CallExpr, root types.Object, suffix string)
+	// recv is the receiver of the function being walked (phase 2), whose
+	// own unguarded receiver-rooted Record sites are the callers' duty.
+	recv types.Object
+}
+
+// guardSet holds the path keys proven non-nil at the current point.
+type guardSet map[string]bool
+
+func (g guardSet) with(keys []string) guardSet {
+	if len(keys) == 0 {
+		return g
+	}
+	ng := make(guardSet, len(g)+len(keys))
+	for k := range g {
+		ng[k] = true
+	}
+	for _, k := range keys {
+		ng[k] = true
+	}
+	return ng
+}
+
+func (tg *traceguard) walkBody(fd *ast.FuncDecl, recv types.Object) {
+	tg.recv = recv
+	tg.block(fd.Body.List, guardSet{})
+}
+
+func (tg *traceguard) block(stmts []ast.Stmt, g guardSet) {
+	for _, s := range stmts {
+		// `if x == nil { return }` guards the remainder of this block.
+		if is, ok := s.(*ast.IfStmt); ok {
+			if key, ok := tg.nilEqualCheck(is.Cond); ok && terminates(is.Body) {
+				tg.stmt(s, g)
+				g = g.with([]string{key})
+				continue
+			}
+		}
+		tg.stmt(s, g)
+	}
+}
+
+func (tg *traceguard) stmt(s ast.Stmt, g guardSet) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		tg.block(st.List, g)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			tg.stmt(st.Init, g)
+		}
+		tg.exprs(st.Cond, g)
+		tg.block(st.Body.List, g.with(tg.nilNeqConjuncts(st.Cond)))
+		if st.Else != nil {
+			if key, ok := tg.nilEqualCheck(st.Cond); ok {
+				// else of `x == nil` means x is non-nil.
+				tg.stmt(st.Else, g.with([]string{key}))
+			} else {
+				tg.stmt(st.Else, g)
+			}
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			tg.stmt(st.Init, g)
+		}
+		if st.Cond != nil {
+			tg.exprs(st.Cond, g)
+		}
+		if st.Post != nil {
+			tg.stmt(st.Post, g)
+		}
+		tg.block(st.Body.List, g)
+	case *ast.RangeStmt:
+		tg.exprs(st.X, g)
+		tg.block(st.Body.List, g)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			tg.stmt(st.Init, g)
+		}
+		if st.Tag != nil {
+			tg.exprs(st.Tag, g)
+		}
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range c.List {
+					tg.exprs(e, g)
+				}
+				tg.block(c.Body, g)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			tg.stmt(st.Init, g)
+		}
+		tg.stmt(st.Assign, g)
+		for _, cc := range st.Body.List {
+			if c, ok := cc.(*ast.CaseClause); ok {
+				tg.block(c.Body, g)
+			}
+		}
+	case *ast.LabeledStmt:
+		tg.stmt(st.Stmt, g)
+	default:
+		tg.exprs(s, g)
+	}
+}
+
+// exprs inspects a leaf statement or expression for calls, checking each
+// against the current guard set.  Function literal bodies start from an
+// empty set: the literal may run after the guard's scope.
+func (tg *traceguard) exprs(n ast.Node, g guardSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			saved := tg.recv
+			tg.block(e.Body.List, guardSet{})
+			tg.recv = saved
+			return false
+		case *ast.CallExpr:
+			tg.checkCall(e, g)
+		}
+		return true
+	})
+}
+
+func (tg *traceguard) checkCall(call *ast.CallExpr, g guardSet) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	p := tg.p
+	// Direct Record on a trace.Recorder value.
+	if sel.Sel.Name == "Record" && isRecorderType(p.TypesInfo.TypeOf(sel.X)) {
+		key, root, fields, ok := pathOf(p, sel.X)
+		if !ok {
+			tg.flag(call, "trace.Recorder emission")
+			return
+		}
+		if g[key] {
+			return
+		}
+		suffix := "." + strings.Join(fields, ".")
+		if tg.collect != nil {
+			tg.collect(call, root, suffix)
+			return
+		}
+		if root != nil && root == tg.recv && len(fields) > 0 {
+			// The helper's own excused site; callers must guard.
+			return
+		}
+		tg.flag(call, "trace.Recorder emission")
+		return
+	}
+	// Call to a known emit helper.
+	fn, _ := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return
+	}
+	suffix, isHelper := tg.helpers[fn]
+	if !isHelper || tg.collect != nil {
+		return
+	}
+	key, _, _, ok := pathOf(p, sel.X)
+	if !ok || !g[key+suffix] {
+		tg.flag(call, fmt.Sprintf("call to emit helper %s", fn.Name()))
+	}
+}
+
+func (tg *traceguard) flag(call *ast.CallExpr, what string) {
+	p := tg.p
+	m := p.markerAt(markerUnguarded, call.Pos())
+	if m != nil && !m.justified() {
+		p.reportBare(m, call.Pos(), "a justification explaining why the recorder is provably non-nil here is required")
+		return
+	}
+	if m != nil {
+		m.use()
+		return
+	}
+	p.Reportf(call.Pos(), "%s is not dominated by a rec != nil guard: wrap it in `if <rec> != nil { ... }` or annotate with //wormlint:unguarded <why>", what)
+}
+
+// nilNeqConjuncts returns the path keys of every `x != nil` conjunct of
+// cond (split across &&).
+func (tg *traceguard) nilNeqConjuncts(cond ast.Expr) []string {
+	var keys []string
+	var split func(e ast.Expr)
+	split = func(e ast.Expr) {
+		switch b := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if b.Op == token.LAND {
+				split(b.X)
+				split(b.Y)
+				return
+			}
+			if key, neq, ok := tg.nilCheck(b); ok && neq {
+				keys = append(keys, key)
+			}
+		}
+	}
+	split(cond)
+	return keys
+}
+
+// nilEqualCheck reports cond being exactly `x == nil` and returns x's key.
+func (tg *traceguard) nilEqualCheck(cond ast.Expr) (string, bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return "", false
+	}
+	key, neq, ok := tg.nilCheck(b)
+	return key, ok && !neq
+}
+
+// nilCheck decomposes `x != nil` / `x == nil` into x's path key.
+func (tg *traceguard) nilCheck(b *ast.BinaryExpr) (key string, neq, ok bool) {
+	if b.Op != token.NEQ && b.Op != token.EQL {
+		return "", false, false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNilIdent(tg.p, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(tg.p, y) {
+		return "", false, false
+	}
+	key, _, _, pok := pathOf(tg.p, x)
+	return key, b.Op == token.NEQ, pok
+}
+
+func isNilIdent(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// pathOf renders a selector chain rooted at a plain identifier into a
+// stable key (root object identity + field names), also returning the
+// root object and field list.
+func pathOf(p *Pass, e ast.Expr) (key string, root types.Object, fields []string, ok bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = p.TypesInfo.Defs[x]
+		}
+		if obj == nil {
+			return "", nil, nil, false
+		}
+		return fmt.Sprintf("%p", obj), obj, nil, true
+	case *ast.SelectorExpr:
+		base, r, fs, bok := pathOf(p, x.X)
+		if !bok {
+			return "", nil, nil, false
+		}
+		fs = append(fs, x.Sel.Name)
+		return base + "." + x.Sel.Name, r, fs, true
+	}
+	return "", nil, nil, false
+}
+
+// receiverObj returns the object of fd's receiver identifier, or nil for
+// plain functions and anonymous receivers.
+func receiverObj(p *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return p.TypesInfo.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// isRecorderType reports whether t is the trace.Recorder interface.
+func isRecorderType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Recorder" || named.Obj().Pkg() == nil {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return isTracePkg(named.Obj().Pkg().Path())
+}
+
+// terminates reports whether a block's last statement unconditionally
+// leaves the enclosing block (return, branch, or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

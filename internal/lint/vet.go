@@ -52,31 +52,44 @@ type vetConfig struct {
 
 // Main is the wormlint entry point; it returns the process exit code.
 func Main(args []string) int {
+	audit := false
+	var rest []string
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full":
 			return printVersion()
 		case a == "-flags" || a == "--flags":
-			// No tool-specific flags: an empty JSON descriptor list.
-			fmt.Println("[]")
+			// The JSON flag descriptor go vet reads to learn which
+			// tool-specific flags it may forward to unit invocations.
+			fmt.Println(`[{"Name":"audit","Bool":true,"Usage":"report stale //wormlint:* markers instead of contract diagnostics"}]`)
 			return 0
+		case a == "-audit" || a == "--audit" || a == "-audit=true" || a == "--audit=true":
+			audit = true
+		case a == "-audit=false" || a == "--audit=false":
+			audit = false
 		case a == "-h" || a == "-help" || a == "--help":
 			usage()
 			return 0
+		default:
+			rest = append(rest, a)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return vetUnit(args[0])
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], audit)
 	}
-	return standalone(args)
+	return standalone(rest, audit)
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `wormlint statically enforces the simulator's determinism contract.
 
 Usage:
-	wormlint [packages]          analyze packages (default ./...)
-	go vet -vettool=$(which wormlint) [packages]
+	wormlint [-audit] [packages]          analyze packages (default ./...)
+	go vet -vettool=$(which wormlint) [-audit] [packages]
+
+With -audit, wormlint reports stale //wormlint:* escape-hatch markers —
+annotations that no longer suppress any diagnostic — instead of contract
+diagnostics.
 
 Analyzers:
 `)
@@ -110,7 +123,7 @@ func printVersion() int {
 
 // standalone re-execs through go vet so the build system loads and
 // type-checks packages for us.
-func standalone(patterns []string) int {
+func standalone(patterns []string, audit bool) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormlint:", err)
@@ -124,7 +137,13 @@ func standalone(patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cmd := exec.Command(gocmd, append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if audit {
+		// go vet learned the flag from -flags and forwards it to every
+		// compilation-unit invocation.
+		vetArgs = append(vetArgs, "-audit")
+	}
+	cmd := exec.Command(gocmd, append(vetArgs, patterns...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
 	cmd.Stdin = os.Stdin
@@ -139,7 +158,9 @@ func standalone(patterns []string) int {
 }
 
 // vetUnit analyzes one compilation unit described by a go vet config file.
-func vetUnit(configFile string) int {
+// With audit set it reports stale //wormlint:* markers instead of contract
+// diagnostics.
+func vetUnit(configFile string, audit bool) int {
 	data, err := os.ReadFile(configFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormlint:", err)
@@ -208,7 +229,11 @@ func vetUnit(configFile string) int {
 		return 1
 	}
 
-	diags, err := RunPackage(fset, files, pkg, info, Analyzers())
+	run := RunPackage
+	if audit {
+		run = AuditPackage
+	}
+	diags, err := run(fset, files, pkg, info, Analyzers())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wormlint:", err)
 		return 1

@@ -1,0 +1,91 @@
+package liveness
+
+import (
+	"testing"
+
+	"wormlan/internal/des"
+	"wormlan/internal/topology"
+)
+
+// FuzzHelloStateMachine drives a single-endpoint monitor with arbitrary
+// interleavings of clock advancement and hello arrivals, and checks the
+// state-machine contract that every consumer relies on: verdicts strictly
+// alternate down/up starting from up, verdict times never decrease,
+// Monitor.Up always reflects the latest verdict, and the Stats counters
+// stay mutually consistent (a down verdict costs DetectMult misses, a flap
+// requires a prior re-admission, hellos at unknown endpoints are ignored).
+func FuzzHelloStateMachine(f *testing.F) {
+	// Tape language: low nibble = ticks to advance; bit 4 = inject a hello
+	// at the registered endpoint; bit 5 = inject a hello at an unknown
+	// endpoint (must be a no-op).
+	f.Add([]byte{0x10, 8, 0x10, 8, 0x10})                    // healthy cadence
+	f.Add([]byte{15, 15, 15})                                // silence through detection
+	f.Add([]byte{0x10, 15, 15, 0x10, 2, 0x10, 15, 15, 0x10}) // flap
+	f.Add([]byte{0x30, 0x20, 15, 0x18, 1})                   // unknown-endpoint noise
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		ep := Endpoint{Node: 1, Port: 0, Delay: 4}
+		cfg := Config{Interval: 8, Jitter: 1, DetectMult: 2, UpHold: 16}
+		m, err := New(cfg, []Endpoint{ep}, func(topology.NodeID, topology.PortID) bool { return true }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts := 0
+		prevUp := true // monitor starts believing the peer is up
+		lastAt := des.Time(0)
+		m.OnVerdict = func(v Verdict) {
+			if v.Node != ep.Node || v.Port != ep.Port {
+				t.Fatalf("verdict for unregistered endpoint %d.%d", v.Node, v.Port)
+			}
+			if v.Up == prevUp {
+				t.Fatalf("verdict %d: Up=%v repeats the previous belief", verdicts, v.Up)
+			}
+			if v.At < lastAt {
+				t.Fatalf("verdict %d: At=%d before previous verdict at %d", verdicts, v.At, lastAt)
+			}
+			if !v.Up && !v.FalsePositive {
+				t.Fatalf("down verdict at t=%d not classified false-positive under an always-alive oracle", v.At)
+			}
+			prevUp = v.Up
+			lastAt = v.At
+			verdicts++
+		}
+		now := des.Time(0)
+		hellos := int64(0)
+		for _, b := range tape {
+			for k := 0; k < int(b&15); k++ {
+				now++
+				m.HelloTick(now)
+			}
+			if b&16 != 0 {
+				m.HelloSeen(ep.Node, ep.Port, ep.Delay, now)
+				hellos++
+			}
+			if b&32 != 0 {
+				m.HelloSeen(9, 3, 0, now) // unregistered: must change nothing
+			}
+			if m.Up(ep) != prevUp {
+				t.Fatalf("t=%d: Up(ep)=%v disagrees with last verdict (%v)", now, m.Up(ep), prevUp)
+			}
+		}
+		st := m.Stats()
+		downs := int64((verdicts + 1) / 2)
+		ups := int64(verdicts / 2)
+		if st.PeerDowns != downs || st.PeerUps != ups {
+			t.Fatalf("stats PeerDowns=%d PeerUps=%d, verdict stream implies %d/%d",
+				st.PeerDowns, st.PeerUps, downs, ups)
+		}
+		if st.HellosSeen != hellos {
+			t.Fatalf("stats HellosSeen=%d, injected %d at the registered endpoint", st.HellosSeen, hellos)
+		}
+		if st.Misses < int64(cfg.DetectMult)*st.PeerDowns {
+			t.Fatalf("stats Misses=%d cannot support %d down verdicts at DetectMult=%d",
+				st.Misses, st.PeerDowns, cfg.DetectMult)
+		}
+		if st.FalsePositives != st.PeerDowns {
+			t.Fatalf("stats FalsePositives=%d, want %d (oracle always alive)", st.FalsePositives, st.PeerDowns)
+		}
+		if st.Flaps > st.PeerUps {
+			t.Fatalf("stats Flaps=%d exceeds PeerUps=%d: a flap requires a prior re-admission", st.Flaps, st.PeerUps)
+		}
+	})
+}

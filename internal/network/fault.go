@@ -383,6 +383,9 @@ func (in *inPort) reset() {
 	// wish at the next publish phase.
 	in.sw.dirtyIns.set(in.idx)
 	in.worm = nil
+	// A port wiped mid-blocked-episode must not suppress the next
+	// EvBlocked/EvResumed trace pair after a restore.
+	in.blocked = false
 	in.mcBuf = in.mcBuf[:0]
 	in.mcSkip = 0
 	in.mcExpectPtr = false

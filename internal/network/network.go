@@ -676,6 +676,9 @@ func (f *Fabric) Tick(now des.Time) bool {
 	if f.moved {
 		f.lastMove = now
 	}
+	if wormcheckEnabled {
+		f.wormcheckTick(now)
+	}
 	return f.work
 }
 

@@ -67,6 +67,7 @@ type inPort struct {
 	// fill against them on every flit, and a config chase there is hot.
 	stopMark, goMark int
 
+	//wormlint:keep reset callers clear it themselves, paired with the sw.wishPorts accounting only they can see
 	stopWish bool
 	inLink   *dlink
 
@@ -92,6 +93,7 @@ type inPort struct {
 	// ou caches &sw.out[outs[0]] while the port is pmBoundUni: the unicast
 	// relay reads it once per tick, and the outs[0] double-index is hot.
 	// Only meaningful in pmBoundUni; left stale otherwise.
+	//wormlint:keep only read in pmBoundUni, where bind just wrote it
 	ou *outPort
 }
 

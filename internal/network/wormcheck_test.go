@@ -1,0 +1,109 @@
+//go:build wormcheck
+
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+// mustWormfail runs fn and asserts wormcheckTick panics with a message
+// containing frag.
+func mustWormfail(t *testing.T, r *rig, frag string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("wormcheck did not detect corruption (want panic containing %q)", frag)
+		}
+		msg, ok := p.(string)
+		if !ok || !strings.Contains(msg, frag) {
+			t.Fatalf("wormcheck panic = %v, want message containing %q", p, frag)
+		}
+	}()
+	fn()
+	r.f.wormcheckTick(r.k.Now())
+}
+
+// TestWormcheckDetectsCorruption deliberately desynchronizes each class of
+// derived state and asserts the checker catches it: a checker that cannot
+// fail proves nothing.
+func TestWormcheckDetectsCorruption(t *testing.T) {
+	build := func() *rig {
+		r := newRig(t, topology.Line(2, 1), Config{})
+		hosts := r.g.Hosts()
+		if err := r.f.Inject(hosts[0], r.unicast(t, hosts[0], hosts[1], 64)); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, 10) // mid-flight: links occupied, a switch lane streaming
+		return r
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		r := build()
+		r.f.wormcheckTick(r.k.Now()) // must not panic
+	})
+	t.Run("link-inflight", func(t *testing.T) {
+		r := build()
+		mustWormfail(t, r, "occupied slots", func() { r.f.links[0].inFlight++ })
+	})
+	t.Run("ctrl-ones", func(t *testing.T) {
+		r := build()
+		mustWormfail(t, r, "ctrlOnes", func() { r.f.links[0].ctrlOnes[0]++ })
+	})
+	t.Run("wish-count", func(t *testing.T) {
+		r := build()
+		var s *swState
+		for _, c := range r.f.sw {
+			if c != nil {
+				s = c
+				break
+			}
+		}
+		mustWormfail(t, r, "wishPorts", func() { s.wishPorts++ })
+	})
+	t.Run("bound-count", func(t *testing.T) {
+		r := build()
+		var s *swState
+		for _, c := range r.f.sw {
+			if c != nil && s == nil {
+				s = c
+			}
+		}
+		mustWormfail(t, r, "nBoundOuts", func() { s.nBoundOuts++ })
+	})
+	t.Run("rx-busy", func(t *testing.T) {
+		r := build()
+		mustWormfail(t, r, "rxBusy", func() { r.f.rxBusy++ })
+	})
+	t.Run("slack-window", func(t *testing.T) {
+		r := build()
+		var in *inPort
+		for _, c := range r.f.sw {
+			if c == nil {
+				continue
+			}
+			for pi := range c.in {
+				if c.in[pi].cap > 0 {
+					in = &c.in[pi]
+					break
+				}
+			}
+			if in != nil {
+				break
+			}
+		}
+		if in == nil {
+			t.Fatal("no slack-backed lane found")
+		}
+		mustWormfail(t, r, "not zeroed", func() {
+			i := in.head + in.fill
+			if i >= in.cap {
+				i -= in.cap
+			}
+			in.slack[i].B = 0xAA
+		})
+	})
+}

@@ -1,0 +1,65 @@
+package route
+
+import (
+	"testing"
+
+	"wormlan/internal/topology"
+)
+
+// FuzzEncodeVCPortRoundTrip pins the VC route-byte codec — the single
+// encoding authority the portbyte analyzer directs every caller to — over
+// its whole input space: encode/decode round-trips exactly, lane 0 is the
+// identity encoding, marker bytes are never produced, and the error cases
+// are precisely the documented ones.
+func FuzzEncodeVCPortRoundTrip(f *testing.F) {
+	f.Add(int16(0), 0)
+	f.Add(int16(63), 1)
+	f.Add(int16(62), 3)
+	f.Add(int16(63), 3) // would collide with End: must error
+	f.Add(int16(-1), 0)
+	f.Add(int16(64), 2)
+	f.Fuzz(func(t *testing.T, p int16, vc int) {
+		b, err := EncodeVCPort(topology.PortID(p), vc)
+		wantErr := p < 0 || p > MaxVCPort || vc < 0 || vc > 3 ||
+			vc<<VCShift|int(p) >= int(BroadcastPort)
+		if (err != nil) != wantErr {
+			t.Fatalf("EncodeVCPort(%d, %d) error = %v, want error %v", p, vc, err, wantErr)
+		}
+		if err != nil {
+			return
+		}
+		if b >= BroadcastPort {
+			t.Fatalf("EncodeVCPort(%d, %d) = %#x collides with a marker byte", p, vc, b)
+		}
+		gotPort, gotVC := DecodeVCPort(b)
+		if gotPort != int(p) || gotVC != vc {
+			t.Fatalf("DecodeVCPort(EncodeVCPort(%d, %d)) = (%d, %d)", p, vc, gotPort, gotVC)
+		}
+		if vc == 0 && b != byte(p) {
+			t.Fatalf("lane 0 must be the identity encoding: EncodeVCPort(%d, 0) = %#x", p, b)
+		}
+	})
+}
+
+// FuzzDecodeVCPortTotal: every non-marker byte decodes to a (port, lane)
+// pair that re-encodes to the same byte — decode is a bijection over the
+// codec's range.
+func FuzzDecodeVCPortTotal(f *testing.F) {
+	f.Add(byte(0))
+	f.Add(byte(0x3f))
+	f.Add(byte(0x40))
+	f.Add(byte(0xfd))
+	f.Fuzz(func(t *testing.T, b byte) {
+		if b >= BroadcastPort {
+			return // marker bytes are not VC encodings
+		}
+		port, vc := DecodeVCPort(b)
+		back, err := EncodeVCPort(topology.PortID(port), vc)
+		if err != nil {
+			t.Fatalf("DecodeVCPort(%#x) = (%d, %d) does not re-encode: %v", b, port, vc, err)
+		}
+		if back != b {
+			t.Fatalf("re-encode of DecodeVCPort(%#x) = %#x", b, back)
+		}
+	})
+}

@@ -232,6 +232,7 @@ func validateRoute(cfg *Config) error {
 	}
 	if cfg.FaultPlan != nil {
 		for _, ev := range cfg.FaultPlan.Events {
+			//wormlint:partial only topology-changing kinds are rejected; corruption and stalls need no route recovery
 			switch ev.Kind {
 			case fault.LinkDown, fault.LinkUp, fault.SwitchDown, fault.SwitchUp:
 				return fmt.Errorf("sim: route %q has no topology-change recovery (fault plan schedules %s)", cfg.Route, ev.Kind)
