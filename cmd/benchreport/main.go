@@ -6,7 +6,7 @@
 //
 //	go test -bench BenchmarkDeliveredWormAllocs -benchtime 1x ./internal/network > bench.txt
 //	for v in 1 2 4; do mcbench -fig 10 -vcs $v >> fig10.txt; done
-//	benchreport -bench bench.txt -fig10 fig10.txt -fig10-vcs 1,2,4 -o BENCH_8.json
+//	benchreport -bench bench.txt -fig10 fig10.txt -fig10-vcs 1,2,4 -o BENCH_10.json
 //
 // It parses every `BenchmarkDeliveredWormAllocs/vcs=N` line for ns/op and
 // allocs/op, every mcbench footer (`[fig10: N points (M cached) in Xs]`)
@@ -39,7 +39,7 @@ import (
 // `mcbench -fig 10 -parallel 1`, best of three alternated runs.  See
 // BENCHMARKS.md for the trajectory.
 const (
-	issueNumber         = 8
+	issueNumber         = 10
 	baselineFig10Points = 9
 	baselineFig10Secs   = 10.488
 )

@@ -34,6 +34,7 @@ import (
 	"wormlan/internal/des"
 	"wormlan/internal/faulttest"
 	"wormlan/internal/profiling"
+	"wormlan/internal/sim"
 	"wormlan/internal/sweep"
 	"wormlan/internal/trace"
 )
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progress := fs.Bool("progress", false, "stream per-point completions to stderr")
 	metrics := fs.Bool("metrics", false, "print per-figure sweep execution metrics (points run/cached, per-point time distribution)")
 	vcs := fs.Int("vcs", 0, "virtual-channel lane count: fabric lanes for -fig 10, multi-VC curve lanes for -fig routes (0 = defaults)")
+	routeFilter := fs.String("route", "", "restrict -fig routes to curves of this routing scheme (empty = all)")
 	detect := fs.String("detect", "oracle", "storm failure detection: oracle or hello (in-band liveness; -fig storms)")
 	helloInterval := fs.Int64("hello-interval", 0, "hello transmission period in byte-times for -detect hello (0 = liveness default)")
 	detectMult := fs.Int("detect-mult", 0, "consecutive missed hellos before a peer-down verdict (0 = liveness default)")
@@ -72,6 +74,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Reject a bad -route before any work, with the full legal set in the
+	// error — the same check (and message) sim.Run would apply, shared
+	// with wormsim so both CLIs fail identically.
+	if *routeFilter != "" {
+		if err := (&sim.Config{Route: *routeFilter}).Validate(); err != nil {
+			fmt.Fprintf(stderr, "mcbench: %v\n", err)
+			return 2
+		}
 	}
 
 	if *cpuProfile != "" {
@@ -186,7 +198,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *fig == "routes" {
 		runFig("routes", func() error {
-			rows, err := core.RoutesWithVariants(ctx, scale, *seed, opts, core.VariantsWithVCs(*vcs))
+			variants := core.VariantsWithVCs(*vcs)
+			if *routeFilter != "" {
+				kept := variants[:0]
+				for _, v := range variants {
+					if v.Route == *routeFilter || (*routeFilter == "updown" && v.Route == "") {
+						kept = append(kept, v)
+					}
+				}
+				variants = kept
+			}
+			rows, err := core.RoutesWithVariants(ctx, scale, *seed, opts, variants)
 			if err != nil {
 				return err
 			}

@@ -18,6 +18,12 @@ func TestExitCodes(t *testing.T) {
 		{"garbage figure", []string{"-fig", "bogus"}, 2, "unknown figure"},
 		{"unknown scale", []string{"-fig", "10", "-scale", "huge"}, 2, `unknown scale "huge"`},
 		{"bad flag", []string{"-nope"}, 2, ""},
+		// The -route contract shared with wormsim: exit 2 with the full
+		// legal set in the message, before any simulation runs.
+		{"unknown route", []string{"-fig", "routes", "-route", "left-hand"}, 2,
+			"unknown route scheme"},
+		{"route legal set", []string{"-fig", "routes", "-route", "left-hand"}, 2,
+			"adaptive, clos, fullmesh, shufflenet, updown, vcmin"},
 		// An impossible per-point timeout makes every simulation point
 		// fail mid-run: the error must propagate to a non-zero exit.
 		{"figure fails mid-run", []string{"-fig", "10", "-timeout", "1ns"}, 1, "timed out"},

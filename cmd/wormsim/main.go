@@ -47,48 +47,58 @@ func loadConfigFile(path string) (*topology.Graph, map[int][]topology.NodeID, er
 	return topology.ParseConfig(f)
 }
 
-// buildTopology returns the named graph, plus the torus geometry when the
-// topology has one (the vcmin route scheme needs it).
-func buildTopology(name string, delay int64) (*topology.Graph, *topology.TorusGeom, error) {
+// builtTopo is a named graph plus whichever routing geometry the topology
+// carries (the vcmin, clos, and shufflenet route schemes each need
+// theirs).
+type builtTopo struct {
+	g       *topology.Graph
+	torus   *topology.TorusGeom
+	clos    *topology.ClosGeom
+	shuffle *topology.ShuffleGeom
+}
+
+// buildTopology returns the named graph and its geometries.
+func buildTopology(name string, delay int64) (builtTopo, error) {
+	var bt builtTopo
 	switch {
 	case name == "torus8x8":
-		g, geo := topology.TorusWithGeom(8, 8, 1, delay)
-		return g, geo, nil
+		bt.g, bt.torus = topology.TorusWithGeom(8, 8, 1, delay)
 	case name == "torus4x4":
-		g, geo := topology.TorusWithGeom(4, 4, 1, delay)
-		return g, geo, nil
+		bt.g, bt.torus = topology.TorusWithGeom(4, 4, 1, delay)
 	case name == "shufflenet24":
-		if delay == 0 {
-			delay = 1000
-		}
-		return topology.BidirShufflenet(2, 3, delay), nil, nil
+		bt.g, bt.shuffle = topology.BidirShufflenetWithGeom(2, 3, delayOr(delay, 1000))
+	case name == "shufflenet64":
+		bt.g, bt.shuffle = topology.BidirShufflenetWithGeom(2, 4, delayOr(delay, 1))
+	case name == "clos8x4":
+		bt.g, bt.clos = topology.ClosWithGeom(8, 4, 8, delayOr(delay, 1))
 	case name == "myrinet4":
-		return topology.Myrinet4(), nil, nil
+		bt.g = topology.Myrinet4()
 	case strings.HasPrefix(name, "star:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "star:%d", &n); err != nil {
-			return nil, nil, err
+			return bt, err
 		}
-		return topology.Star(n), nil, nil
+		bt.g = topology.Star(n)
 	case strings.HasPrefix(name, "line:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "line:%d", &n); err != nil {
-			return nil, nil, err
+			return bt, err
 		}
-		return topology.Line(n, delay), nil, nil
+		bt.g = topology.Line(n, delay)
 	case strings.HasPrefix(name, "ring:"):
 		var n int
 		if _, err := fmt.Sscanf(name, "ring:%d", &n); err != nil {
-			return nil, nil, err
+			return bt, err
 		}
-		return topology.Ring(n, delay), nil, nil
+		bt.g = topology.Ring(n, delay)
 	case name == "fullmesh8x4":
-		return topology.FullMesh(8, 4, delayOr(delay, 1)), nil, nil
+		bt.g = topology.FullMesh(8, 4, delayOr(delay, 1))
 	case name == "fullmesh8x8":
-		return topology.FullMesh(8, 8, delayOr(delay, 1)), nil, nil
+		bt.g = topology.FullMesh(8, 8, delayOr(delay, 1))
 	default:
-		return nil, nil, fmt.Errorf("unknown topology %q", name)
+		return bt, fmt.Errorf("unknown topology %q", name)
 	}
+	return bt, nil
 }
 
 // delayOr substitutes d for a zero (topology-default) delay flag.
@@ -132,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wormsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	configPath := fs.String("config", "", "topology+groups configuration file (overrides -topology/-groups)")
-	topoName := fs.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, myrinet4, fullmesh8x4, fullmesh8x8, star:N, line:N, ring:N")
+	topoName := fs.String("topology", "torus8x8", "topology: torus8x8, torus4x4, shufflenet24, shufflenet64, clos8x4, myrinet4, fullmesh8x4, fullmesh8x8, star:N, line:N, ring:N")
 	schemeName := fs.String("scheme", "tree", "multicast scheme")
 	load := fs.Float64("load", 0.02, "offered load (generated output-link utilization per host)")
 	pmc := fs.Float64("pmc", 0.1, "probability a generated worm is multicast")
@@ -143,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	measure := fs.Int64("measure", 300_000, "measurement window in byte-times")
 	linkDelay := fs.Int64("delay", 0, "inter-switch link delay in byte-times (0 = topology default)")
 	seed := fs.Uint64("seed", 1996, "random seed")
-	routeName := fs.String("route", "", "routing scheme: updown (default), vcmin (dateline minimal, torus only), or fullmesh; the alternatives are unicast-only (-pmc 0 -groups 0)")
+	routeName := fs.String("route", "", "routing scheme: updown (default), vcmin (dateline minimal, torus only), adaptive (escape-lane, any topology), fullmesh, clos, or shufflenet")
 	vcs := fs.Int("vcs", 0, "virtual channels (lanes) per physical link (0 = fabric default)")
 	arbName := fs.String("arb", "", "crossbar arbitration: scan (default) or islip")
 	arbIters := fs.Int("arb-iters", 0, "iSLIP iterations per tick (0 = arbiter default)")
@@ -163,6 +173,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Reject a bad -route before any work, with the full legal set in the
+	// error — the same check (and message) sim.Run would apply, shared
+	// with mcbench so both CLIs fail identically.
+	if err := (&sim.Config{Route: *routeName}).Validate(); err != nil {
+		fmt.Fprintf(stderr, "wormsim: %v\n", err)
 		return 2
 	}
 
@@ -186,19 +204,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		servePprof(*pprofAddr, stderr)
 	}
 
-	var g *topology.Graph
-	var geo *topology.TorusGeom
+	var bt builtTopo
 	var fileGroups map[int][]topology.NodeID
 	var err error
 	if *configPath != "" {
-		g, fileGroups, err = loadConfigFile(*configPath)
+		bt.g, fileGroups, err = loadConfigFile(*configPath)
 	} else {
-		g, geo, err = buildTopology(*topoName, *linkDelay)
+		bt, err = buildTopology(*topoName, *linkDelay)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "wormsim: %v\n", err)
 		return 2
 	}
+	g := bt.g
 	scheme, err := pickScheme(*schemeName)
 	if err != nil {
 		fmt.Fprintf(stderr, "wormsim: %v\n", err)
@@ -245,7 +263,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Measure:       des.Time(*measure),
 		Seed:          *seed,
 		Route:         *routeName,
-		TorusGeom:     geo,
+		TorusGeom:     bt.torus,
+		ClosGeom:      bt.clos,
+		ShuffleGeom:   bt.shuffle,
 		Adapter:       adapter.Config{PlainForwarding: !*reliable},
 		FaultPlan:     plan,
 		Detect:        mode,

@@ -35,10 +35,50 @@ func TestRunUsageErrors(t *testing.T) {
 		{"-topology", "nosuch"},
 		{"-scheme", "nosuch"},
 		{"-badflag"},
+		{"-route", "left-hand"},
 	} {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 2 {
 			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// TestRunRouteValidation pins the -route flag contract: an unknown scheme
+// exits 2 before any simulation, and the error spells out the full legal
+// set (the identical sim.Config.Validate message mcbench produces).
+func TestRunRouteValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-route", "left-hand"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	msg := errb.String()
+	for _, want := range []string{"unknown route scheme", "adaptive, clos, fullmesh, shufflenet, updown, vcmin"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestRunVCRoutes is the CLI smoke test for the VC scheme family: each
+// (topology, route) pairing runs clean, multicast included.
+func TestRunVCRoutes(t *testing.T) {
+	for _, tc := range []struct{ topo, route string }{
+		{"torus4x4", "adaptive"},
+		{"clos8x4", "clos"},
+		{"shufflenet64", "shufflenet"},
+	} {
+		var out, errb bytes.Buffer
+		args := []string{
+			"-topology", tc.topo, "-route", tc.route, "-scheme", "tree",
+			"-load", "0.02", "-groups", "2", "-groupsize", "4",
+			"-warmup", "10000", "-measure", "40000", "-seed", "7",
+		}
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%s on %s: exit %d, stderr: %s", tc.route, tc.topo, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "fabric counters") {
+			t.Errorf("%s on %s: output missing counters:\n%s", tc.route, tc.topo, out.String())
 		}
 	}
 }

@@ -2,13 +2,15 @@ package core
 
 // The routing-scheme comparison grid: unicast latency and throughput under
 // up/down routing, VC-partitioned minimal torus routing (dateline, plain
-// scan and iSLIP arbitration), and direct full-mesh routing.  This is not
-// a figure from the paper — the paper fixes up/down routing (Section 2)
-// — but the natural companion experiment once the fabric has virtual
-// channels: how much of the torus's path diversity does the spanning-tree
-// discipline give up, and what does a richer physical topology buy
-// instead?  Unicast-only: the alternative schemes do not carry the
-// multicast worm variants (see sim.Config.Route).
+// scan and iSLIP arbitration), Duato-style adaptive escape-lane routing,
+// direct full-mesh routing, deterministic Clos spine routing, and
+// shufflenet forward-column routing.  This is not a figure from the paper
+// — the paper fixes up/down routing (Section 2) — but the natural
+// companion experiment once the fabric has virtual channels: how much of
+// the torus's path diversity does the spanning-tree discipline give up,
+// and what does a richer physical topology buy instead?  The grid stays
+// unicast (load comparability), though the schemes themselves now carry
+// multicast too (see sim.Config.Route).
 
 import (
 	"context"
@@ -38,16 +40,21 @@ type RoutesVariant struct {
 	Arb    string // "" = port scan, "islip" = iSLIP
 }
 
-// RoutesVariants are the four curves: the repo's default spanning-tree
-// routing, dateline minimal routing under both arbiters, and the
-// VC-free full mesh.  All run 64 hosts (8x8 torus with one host per
-// switch; 8-switch mesh with eight hosts each) so per-host load means
-// the same thing on every curve.
+// RoutesVariants are the comparison curves: the repo's default
+// spanning-tree routing, dateline minimal routing under both arbiters,
+// Duato-style adaptive routing, the VC-free full mesh, Clos spine
+// routing, and shufflenet forward-column routing.  All run 64 hosts (8x8
+// torus with one host per switch; 8-switch mesh with eight hosts each;
+// 8-leaf Clos with eight hosts per leaf; (2,4) shufflenet with one host
+// per switch) so per-host load means the same thing on every curve.
 var RoutesVariants = []RoutesVariant{
 	{Name: "updown", Route: "updown", NumVCs: 1},
 	{Name: "vcmin", Route: "vcmin", NumVCs: 2},
 	{Name: "vcmin-islip", Route: "vcmin", NumVCs: 2, Arb: "islip"},
+	{Name: "adaptive", Route: "adaptive", NumVCs: 2},
 	{Name: "fullmesh", Route: "fullmesh", NumVCs: 1},
+	{Name: "clos", Route: "clos", NumVCs: 1},
+	{Name: "shufflenet", Route: "shufflenet", NumVCs: 3},
 }
 
 // RoutesLoads returns the offered-load grid for the comparison.
@@ -75,9 +82,14 @@ func routesConfig(v RoutesVariant, load float64, warm, meas int64, seed uint64) 
 		Measure:     meas,
 		Seed:        seed,
 	}
-	if v.Route == "fullmesh" {
+	switch v.Route {
+	case "fullmesh":
 		cfg.Graph = topology.FullMesh(8, 8, 1)
-	} else {
+	case "clos":
+		cfg.Graph, cfg.ClosGeom = topology.ClosWithGeom(8, 4, 8, 1)
+	case "shufflenet":
+		cfg.Graph, cfg.ShuffleGeom = topology.BidirShufflenetWithGeom(2, 4, 1)
+	default:
 		g, geo := topology.TorusWithGeom(8, 8, 1, 1)
 		cfg.Graph, cfg.TorusGeom = g, geo
 	}
@@ -100,6 +112,11 @@ func VariantsWithVCs(nvc int) []RoutesVariant {
 	for i := range out {
 		if out[i].NumVCs >= 2 {
 			out[i].NumVCs = nvc
+		}
+		// Shufflenet's wrap-count lanes reach 2, so it can never run below
+		// three lanes regardless of the requested count.
+		if out[i].Route == "shufflenet" && out[i].NumVCs < 3 {
+			out[i].NumVCs = 3
 		}
 	}
 	return out

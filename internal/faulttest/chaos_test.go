@@ -91,6 +91,26 @@ func TestChaosTorusWithHealing(t *testing.T) {
 		}})
 }
 
+// TestChaosAdaptive: the Duato-style adaptive scheme on the 8x8 torus
+// survives a seeded corruption + link-kill storm — zero deadlocks (the
+// drain check), conservation, a completed remap that reinstalled a
+// surviving adaptive table, and bit-identical reruns.
+func TestChaosAdaptive(t *testing.T) {
+	o := assertDeterministic(t, StormSpec{
+		Topo:  "torus8x8",
+		Route: "adaptive",
+		Faults: fault.Options{
+			Seed:        99,
+			LinkDowns:   2,
+			Corruptions: 3,
+			Stalls:      1,
+			Window:      30_000,
+		}})
+	if o.Inject.LinkDowns < 1 || o.Inject.Remaps < 1 {
+		t.Fatalf("storm killed no links or completed no remap: %+v", o.Inject)
+	}
+}
+
 // TestChaosTargeted pins an explicit schedule: kill a known cable and a
 // known switch, then verify the counters attribute the damage.
 func TestChaosTargeted(t *testing.T) {

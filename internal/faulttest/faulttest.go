@@ -41,6 +41,14 @@ type Bench struct {
 	UD  *updown.Routing
 	Tbl *updown.Table
 
+	// Rebuild, when set before the kernel runs, recomputes the routing
+	// table after each remap from the fresh up*/down* labelling (whose
+	// failure set reflects the detector's view).  Alternative schemes use
+	// it to reroute over the survivors; nil keeps the remap's own up/down
+	// table.  A rebuild error is a construction-level bug (bad geometry),
+	// pre-excluded by the initial build, so it panics.
+	Rebuild func(b *Bench, ud *updown.Routing, tbl *updown.Table) (*updown.Table, error)
+
 	// Delivery observations.
 	UniDelivered int64
 	McDelivered  map[int64]int // transfer ID -> copies delivered
@@ -52,6 +60,15 @@ type Bench struct {
 // layer.  Unlike New it needs no testing.TB, so sweep grids can build
 // benches from worker goroutines.
 func NewBench(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig) (*Bench, error) {
+	return NewBenchRouted(g, acfg, plan, icfg, network.Config{}, nil)
+}
+
+// NewBenchRouted is NewBench with a custom fabric config and routing
+// scheme: mkTable, when non-nil, builds the initial table from the fresh
+// up*/down* labelling (up/down's own table is used otherwise).  Set
+// b.Rebuild before running to reroute the scheme after remaps.
+func NewBenchRouted(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fault.InjectorConfig,
+	ncfg network.Config, mkTable func(ud *updown.Routing) (*updown.Table, error)) (*Bench, error) {
 	b := &Bench{K: des.NewKernel(), G: g, McDelivered: map[int64]int{}}
 
 	m, err := mapper.Run(g, nil)
@@ -62,11 +79,15 @@ func NewBench(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fau
 	if err != nil {
 		return nil, err
 	}
-	b.Tbl, err = b.UD.NewTable(false)
+	if mkTable != nil {
+		b.Tbl, err = mkTable(b.UD)
+	} else {
+		b.Tbl, err = b.UD.NewTable(false)
+	}
 	if err != nil {
 		return nil, err
 	}
-	b.F, err = network.New(b.K, g, b.UD, network.Config{})
+	b.F, err = network.New(b.K, g, b.UD, ncfg)
 	if err != nil {
 		return nil, err
 	}
@@ -83,8 +104,16 @@ func NewBench(g *topology.Graph, acfg adapter.Config, plan *fault.Plan, icfg fau
 	}
 	if icfg.OnRemap == nil {
 		icfg.OnRemap = func(ud *updown.Routing, tbl *updown.Table) {
-			b.UD, b.Tbl = ud, tbl
-			b.Sys.Reroute(tbl, ud.Reachable)
+			ntbl := tbl
+			if b.Rebuild != nil {
+				var rerr error
+				ntbl, rerr = b.Rebuild(b, ud, tbl)
+				if rerr != nil {
+					panic(fmt.Sprintf("faulttest: scheme rebuild after remap: %v", rerr))
+				}
+			}
+			b.UD, b.Tbl = ud, ntbl
+			b.Sys.Reroute(ntbl, ud.Reachable)
 		}
 	}
 	b.Inj, err = fault.NewInjector(b.K, b.F, plan, icfg)

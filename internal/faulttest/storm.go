@@ -45,11 +45,11 @@ type StormSpec struct {
 	HelloInterval des.Time `json:"helloInterval,omitempty"`
 	DetectMult    int      `json:"detectMult,omitempty"`
 
-	// Route selects the routing scheme: "" or "updown" (default, full
-	// fault repertoire), or "vcmin"/"fullmesh" for the alternative
-	// deadlock-free schemes.  The alternative schemes have no
-	// topology-change recovery, so their storms are restricted to
-	// corruptions and host stalls (RunStorm rejects anything else).
+	// Route selects the routing scheme: "" or "updown" (default), or
+	// "vcmin"/"fullmesh"/"adaptive" for the alternative deadlock-free
+	// schemes.  All schemes take the full fault repertoire — topology
+	// changes rebuild the scheme's table over the survivors (pruning for
+	// vcmin/fullmesh, genuine rerouting for adaptive).
 	// Omitempty, like the detection knobs: the default matrix's specs —
 	// and therefore their derived storm seeds — serialize unchanged.
 	Route  string `json:"route,omitempty"`
@@ -237,19 +237,17 @@ func DetectionStormMatrix() []StormSpec {
 	return specs
 }
 
-// runVCStorm is the alternative-routing storm path: corruption and stall
-// chaos against unicast traffic on a VC-partitioned minimal torus or a
-// direct-routed full mesh.  There is no remap machinery — these schemes
-// have no topology-change recovery — so the spec may not schedule
-// link/switch events, and the post-storm route check is vacuous (the
-// table never changes).  Everything else holds: the schedule must hit,
-// traffic must survive, worms are conserved, the fabric drains with no
-// held channels.
+// runVCStorm is the alternative-routing storm path: chaos against traffic
+// on a VC-partitioned minimal torus, an adaptively routed torus, or a
+// direct-routed full mesh.  The full fault repertoire applies — every
+// topology change re-runs the mapper and the scheme rebuilds its table
+// over the survivors (Bench.Rebuild).  The usual invariants hold: the
+// schedule must hit, traffic must survive, worms are conserved, the
+// fabric drains with no held channels, and the rebuilt table walks the
+// topology (vcroute.ValidateTable; the up/down RoutesErr check does not
+// apply to scheme tables).
 func runVCStorm(spec StormSpec) (Outcome, error) {
 	var zero Outcome
-	if spec.Faults.LinkDowns > 0 || spec.Faults.SwitchDowns > 0 {
-		return zero, fmt.Errorf("faulttest: %s routing has no topology-change recovery; use Corruptions/Stalls only", spec.Route)
-	}
 	if spec.OfferedLoad == 0 {
 		spec.OfferedLoad = 0.02
 	}
@@ -261,10 +259,11 @@ func runVCStorm(spec StormSpec) (Outcome, error) {
 	}
 
 	var (
-		g    *topology.Graph
-		tbl  *updown.Table
-		ncfg network.Config
-		err  error
+		g         *topology.Graph
+		ncfg      network.Config
+		mkTable   func(ud *updown.Routing) (*updown.Table, error)
+		rebuild   func(b *Bench, ud *updown.Routing, tbl *updown.Table) (*updown.Table, error)
+		vcEncoded bool
 	)
 	switch spec.Route {
 	case "vcmin":
@@ -278,19 +277,52 @@ func runVCStorm(spec StormSpec) (Outcome, error) {
 			ncfg.NumVCs = 2
 		}
 		ncfg.VCHeaders = true
-		tbl, err = vcroute.TorusMinimal(g, geo, ncfg.NumVCs)
+		vcEncoded = true
+		nvc := ncfg.NumVCs
+		mkTable = func(*updown.Routing) (*updown.Table, error) {
+			return vcroute.TorusMinimal(g, geo, nvc)
+		}
+		rebuild = func(_ *Bench, ud *updown.Routing, _ *updown.Table) (*updown.Table, error) {
+			return vcroute.TorusMinimalSurviving(g, geo, nvc, ud.Failures())
+		}
 	case "fullmesh":
 		if spec.Topo != "fullmesh8x4" {
 			return zero, fmt.Errorf("faulttest: fullmesh storms run on fullmesh8x4, not %q", spec.Topo)
 		}
 		g = topology.FullMesh(8, 4, 1)
 		ncfg.NumVCs = spec.NumVCs
-		tbl, err = vcroute.FullMesh(g)
+		mkTable = func(*updown.Routing) (*updown.Table, error) {
+			return vcroute.FullMesh(g)
+		}
+		rebuild = func(_ *Bench, ud *updown.Routing, _ *updown.Table) (*updown.Table, error) {
+			return vcroute.FullMeshSurviving(g, ud.Failures())
+		}
+	case "adaptive":
+		if spec.Topo != "torus8x8" {
+			return zero, fmt.Errorf("faulttest: adaptive storms run on torus8x8, not %q", spec.Topo)
+		}
+		g = topology.Torus(8, 8, 1, 1)
+		ncfg.NumVCs = spec.NumVCs
+		if ncfg.NumVCs < 2 {
+			ncfg.NumVCs = 2
+		}
+		ncfg.VCHeaders = true
+		vcEncoded = true
+		mkTable = func(ud *updown.Routing) (*updown.Table, error) {
+			return vcroute.Adaptive(g, ud)
+		}
+		rebuild = func(b *Bench, ud *updown.Routing, _ *updown.Table) (*updown.Table, error) {
+			at, err := network.NewAdaptiveTable(g, ud)
+			if err != nil {
+				return nil, err
+			}
+			if err := b.F.SetAdaptive(at); err != nil {
+				return nil, err
+			}
+			return vcroute.Adaptive(g, ud)
+		}
 	default:
 		return zero, fmt.Errorf("faulttest: unknown route scheme %q", spec.Route)
-	}
-	if err != nil {
-		return zero, err
 	}
 	switch spec.Arb {
 	case "":
@@ -301,52 +333,79 @@ func runVCStorm(spec StormSpec) (Outcome, error) {
 		return zero, fmt.Errorf("faulttest: unknown arbiter %q", spec.Arb)
 	}
 
-	k := des.NewKernel()
-	// The up*/down* orientation is only consulted for broadcast worms,
-	// which unicast-only storms never inject; the fabric just needs one.
-	ud, err := updown.New(g, topology.None)
+	plan := fault.RandomPlan(g, spec.Faults)
+	mode, err := fault.ParseDetectMode(spec.Detect)
 	if err != nil {
 		return zero, err
 	}
-	fab, err := network.New(k, g, ud, ncfg)
+	icfg := fault.InjectorConfig{Mode: mode}
+	if mode == fault.DetectHello {
+		icfg.Hello = liveness.Config{
+			Interval:   spec.HelloInterval,
+			DetectMult: spec.DetectMult,
+			Seed:       spec.Faults.Seed,
+		}
+		icfg.HelloUntil = des.Time(spec.Faults.Window) * 4
+	}
+	b, err := NewBenchRouted(g, StormAdapterConfig(), plan, icfg, ncfg, mkTable)
 	if err != nil {
 		return zero, err
 	}
-	sys, err := adapter.NewSystem(k, fab, tbl, StormAdapterConfig(), 77)
-	if err != nil {
-		return zero, err
-	}
-	var uni int64
-	sys.OnAppDeliver = func(d adapter.AppDelivery) {
-		if d.Transfer == nil {
-			uni++
+	b.Rebuild = rebuild
+	if spec.Route == "adaptive" {
+		at, aerr := network.NewAdaptiveTable(g, b.UD)
+		if aerr != nil {
+			return zero, aerr
+		}
+		if aerr := b.F.SetAdaptive(at); aerr != nil {
+			return zero, aerr
 		}
 	}
-	plan := fault.RandomPlan(g, spec.Faults)
-	inj, err := fault.NewInjector(k, fab, plan, fault.InjectorConfig{})
-	if err != nil {
-		return zero, err
+
+	hosts := g.Hosts()
+	var groupsOf map[topology.NodeID][]int
+	if spec.MulticastProb > 0 {
+		grpA, gerr := b.AddGroupErr(0, hosts[:len(hosts)/2])
+		if gerr != nil {
+			return zero, gerr
+		}
+		grpB, gerr := b.AddGroupErr(1, hosts[len(hosts)/3:])
+		if gerr != nil {
+			return zero, gerr
+		}
+		groupsOf = map[topology.NodeID][]int{}
+		for _, h := range grpA.Members {
+			groupsOf[h] = append(groupsOf[h], 0)
+		}
+		for _, h := range grpB.Members {
+			groupsOf[h] = append(groupsOf[h], 1)
+		}
 	}
-	gen, err := traffic.New(k, traffic.Config{
-		OfferedLoad: spec.OfferedLoad,
-		MeanWorm:    spec.MeanWorm,
-		Until:       des.Time(spec.Faults.Window) * 2,
-	}, g.Hosts(), nil, sys, spec.TrafficSeed)
+	gen, err := traffic.New(b.K, traffic.Config{
+		OfferedLoad:   spec.OfferedLoad,
+		MeanWorm:      spec.MeanWorm,
+		MulticastProb: spec.MulticastProb,
+		Until:         des.Time(spec.Faults.Window) * 2,
+	}, hosts, groupsOf, b.Sys, spec.TrafficSeed)
 	if err != nil {
 		return zero, err
 	}
 	gen.Start()
 
-	deadline := des.Time(spec.Faults.Window) * 40
-	if err := k.Run(deadline); err != nil {
-		return zero, fmt.Errorf("kernel error: %w", err)
-	}
-	if n := k.Pending(); n != 0 {
-		return zero, fmt.Errorf("vc storm did not drain by t=%d: %d events pending (deadlock?)\n%s",
-			deadline, n, fab.StallReport())
+	if err := b.RunErr(des.Time(spec.Faults.Window) * 40); err != nil {
+		return zero, err
 	}
 
-	ic := inj.Counters()
+	ic := b.Inj.Counters()
+	if spec.Faults.LinkDowns > 0 && ic.LinkDowns < 1 {
+		return zero, fmt.Errorf("chaos plan killed no links: %+v", ic)
+	}
+	if spec.Faults.SwitchDowns > 0 && ic.SwitchDowns < 1 {
+		return zero, fmt.Errorf("chaos plan killed no switches: %+v", ic)
+	}
+	if (spec.Faults.LinkDowns > 0 || spec.Faults.SwitchDowns > 0) && ic.Remaps < 1 {
+		return zero, fmt.Errorf("no remap completed: %+v", ic)
+	}
 	if spec.Faults.Corruptions > 0 && ic.Corruptions < 1 {
 		return zero, fmt.Errorf("chaos plan corrupted nothing: %+v", ic)
 	}
@@ -357,26 +416,29 @@ func runVCStorm(spec StormSpec) (Outcome, error) {
 	if worms == 0 {
 		return zero, fmt.Errorf("no traffic generated")
 	}
-	if uni == 0 {
+	if b.UniDelivered == 0 {
 		return zero, fmt.Errorf("no unicast deliveries survived the storm")
 	}
-	ctr := fab.Counters()
-	if ctr.Injected != ctr.Delivered+ctr.WormsDropped {
-		return zero, fmt.Errorf("conservation violated: injected %d != delivered %d + dropped %d",
-			ctr.Injected, ctr.Delivered, ctr.WormsDropped)
+	if err := b.ConservationErr(); err != nil {
+		return zero, err
 	}
-	if held := fab.HeldChannels(); len(held) != 0 {
-		return zero, fmt.Errorf("%d worms hold channels after drain\n%s", len(held), fab.StallReport())
+	if err := b.HeldChannelsErr(); err != nil {
+		return zero, err
 	}
-	return Outcome{Fabric: ctr, Adapter: sys.Stats(), Inject: ic, Uni: uni}, nil
+	// The surviving scheme table must still walk the topology; pruned
+	// pairs (empty routes) are fine, so completeness is not required.
+	if err := vcroute.ValidateTable(g, b.Tbl, vcEncoded, false); err != nil {
+		return zero, fmt.Errorf("rebuilt %s table invalid after storm: %w", spec.Route, err)
+	}
+	return b.Outcome(), nil
 }
 
-// VCStormMatrix is the alternative-routing storm grid: corruption/stall
-// chaos on the dateline torus (both arbiters) and the direct-routed full
-// mesh.  A separate matrix — appending these to DefaultStormMatrix would
-// not change its specs' serialized forms, but keeping them apart keeps
-// the full fault repertoire (link and switch kills) clearly scoped to
-// up*/down* routing.
+// VCStormMatrix is the alternative-routing storm grid: the dateline torus
+// (both arbiters) and the direct-routed full mesh under corruption/stall
+// chaos — their specs predate topology-change recovery and serialize
+// unchanged, keeping derived seeds stable — plus link-kill storms against
+// vcmin (prune recovery) and adaptive routing (reroute recovery, with
+// multicast riding the VC fabric).
 func VCStormMatrix() []StormSpec {
 	return []StormSpec{
 		{Name: "vcmin-storm", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
@@ -385,6 +447,10 @@ func VCStormMatrix() []StormSpec {
 			Faults: fault.Options{Seed: 29, Corruptions: 3, Stalls: 2, Window: 30_000}},
 		{Name: "fullmesh-storm", Topo: "fullmesh8x4", Route: "fullmesh",
 			Faults: fault.Options{Seed: 31, Corruptions: 4, Stalls: 2, Window: 30_000}},
+		{Name: "vcmin-linkkill", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
+			Faults: fault.Options{Seed: 41, LinkDowns: 2, Corruptions: 2, Stalls: 1, Window: 30_000}},
+		{Name: "adaptive-storm", Topo: "torus8x8", Route: "adaptive", MulticastProb: 0.2,
+			Faults: fault.Options{Seed: 43, LinkDowns: 2, Corruptions: 3, Stalls: 2, Window: 30_000}},
 	}
 }
 

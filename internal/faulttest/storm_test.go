@@ -101,14 +101,18 @@ func TestVCStormMatrix(t *testing.T) {
 	}
 }
 
-// TestVCStormRejectsTopologyFaults: a vcmin spec that schedules link or
-// switch kills is refused — the scheme has no recovery path for them.
-func TestVCStormRejectsTopologyFaults(t *testing.T) {
-	_, err := RunStorm(StormSpec{
-		Name: "bad", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
+// TestVCStormLinkKillRecovers: a vcmin spec that schedules link kills now
+// runs the full recovery path — the remap prunes the minimal-torus table
+// over the survivors and every invariant still holds.
+func TestVCStormLinkKillRecovers(t *testing.T) {
+	o, err := RunStorm(StormSpec{
+		Name: "vcmin-kill", Topo: "torus8x8", Route: "vcmin", NumVCs: 2,
 		Faults: fault.Options{Seed: 3, LinkDowns: 1, Window: 30_000},
 	})
-	if err == nil {
-		t.Fatal("vcmin storm with LinkDowns accepted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Inject.LinkDowns < 1 || o.Inject.Remaps < 1 {
+		t.Fatalf("link kill did not drive a remap: %+v", o.Inject)
 	}
 }

@@ -30,7 +30,10 @@ const allocPayload = 256
 // to the second and runs the kernel until it is delivered (and its pooled
 // storage reclaimed).  Plain port-byte routes ride lane 0, so the same pin
 // holds at every lane count: extra lanes must cost state, not allocations.
-func newAllocRig(tb testing.TB, nvc int) func() {
+// With adaptive set, the worm instead carries the route-anywhere marker
+// byte and every hop runs the per-tick adaptive output selection — the
+// pin extends to the Duato escape-lane path.
+func newAllocRig(tb testing.TB, nvc int, adaptive bool) func() {
 	tb.Helper()
 	k := des.NewKernel()
 	g := topology.Line(2, 1)
@@ -40,21 +43,37 @@ func newAllocRig(tb testing.TB, nvc int) func() {
 	}
 	var pool flit.WormPool
 	delivered := 0
-	f, err := New(k, g, ud, Config{NumVCs: nvc, OnDeliver: func(d Delivery) {
+	cfg := Config{NumVCs: nvc, OnDeliver: func(d Delivery) {
 		delivered++
 		pool.Put(d.Worm)
-	}})
+	}}
+	if adaptive {
+		cfg.VCHeaders = true
+	}
+	f, err := New(k, g, ud, cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
 	hosts := g.Hosts()
-	rt, err := ud.Route(hosts[0], hosts[1])
-	if err != nil {
-		tb.Fatal(err)
-	}
-	hdr, err := route.EncodeUnicast(rt.Ports)
-	if err != nil {
-		tb.Fatal(err)
+	var hdr []byte
+	if adaptive {
+		at, aerr := NewAdaptiveTable(g, ud)
+		if aerr != nil {
+			tb.Fatal(aerr)
+		}
+		if aerr := f.SetAdaptive(at); aerr != nil {
+			tb.Fatal(aerr)
+		}
+		hdr = []byte{route.AdaptivePort}
+	} else {
+		rt, rerr := ud.Route(hosts[0], hosts[1])
+		if rerr != nil {
+			tb.Fatal(rerr)
+		}
+		hdr, err = route.EncodeUnicast(rt.Ports)
+		if err != nil {
+			tb.Fatal(err)
+		}
 	}
 	var id int64
 	return func() {
@@ -79,7 +98,7 @@ func newAllocRig(tb testing.TB, nvc int) func() {
 func TestDeliveredWormZeroAlloc(t *testing.T) {
 	for _, nvc := range []int{1, 2, 4} {
 		t.Run(fmt.Sprintf("vcs=%d", nvc), func(t *testing.T) {
-			step := newAllocRig(t, nvc)
+			step := newAllocRig(t, nvc, false)
 			// Warm the one-time capacities (host queue, port request
 			// slices, event wheel) that legitimately allocate on first use.
 			for i := 0; i < 8; i++ {
@@ -90,12 +109,23 @@ func TestDeliveredWormZeroAlloc(t *testing.T) {
 			}
 		})
 	}
+	// The escape-lane path: marker-byte routing through adaptiveSelect at
+	// every hop must stay allocation-free too.
+	t.Run("adaptive", func(t *testing.T) {
+		step := newAllocRig(t, 2, true)
+		for i := 0; i < 8; i++ {
+			step()
+		}
+		if avg := testing.AllocsPerRun(100, step); avg != 0 {
+			t.Fatalf("delivering an adaptive worm allocated %v times, want 0", avg)
+		}
+	})
 }
 
 func BenchmarkDeliveredWormAllocs(b *testing.B) {
 	for _, nvc := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("vcs=%d", nvc), func(b *testing.B) {
-			step := newAllocRig(b, nvc)
+			step := newAllocRig(b, nvc, false)
 			for i := 0; i < 8; i++ {
 				step()
 			}
@@ -106,4 +136,17 @@ func BenchmarkDeliveredWormAllocs(b *testing.B) {
 			}
 		})
 	}
+	// Named "adaptive" (not "vcs=N") so benchreport's per-lane regex keeps
+	// tracking only the deterministic-route trajectory.
+	b.Run("adaptive", func(b *testing.B) {
+		step := newAllocRig(b, 2, true)
+		for i := 0; i < 8; i++ {
+			step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
 }

@@ -131,13 +131,13 @@ type Config struct {
 	// shared between ready lanes by a rotating-priority lane scheduler.
 	NumVCs int
 
-	// VCHeaders, when set, makes switches interpret unicast source-route
-	// bytes as vc<<6|port pairs (see internal/route.EncodeVCPort), so a
-	// route can steer each hop onto a chosen lane (e.g. dateline VC
-	// switching on a torus).  VC-headered fabrics are unicast-only:
-	// Inject rejects replicating worms, which keeps lanes above 0 free of
-	// multicast state.  When clear, route bytes are plain ports and all
-	// traffic rides lane 0, whatever NumVCs is.
+	// VCHeaders, when set, makes switches interpret source-route bytes as
+	// vc<<6|port pairs (see internal/route.EncodeVCPort), so a route can
+	// steer each hop onto a chosen lane (e.g. dateline VC switching on a
+	// torus).  Multicast tree headers decode the same way, giving each
+	// fork branch its own lane; plain port bytes (< 0x40) land on lane 0
+	// either way.  When clear, route bytes are plain ports and all traffic
+	// rides lane 0, whatever NumVCs is.
 	VCHeaders bool
 
 	// Arb selects the crossbar arbitration policy; ArbIters is the iSLIP
@@ -265,6 +265,10 @@ type Fabric struct {
 	// nvc caches Cfg.NumVCs: lane index = port*nvc + vc everywhere a
 	// switch port array is indexed, and the hot paths branch on nvc > 1.
 	nvc int
+
+	// adaptive, when non-nil, makes switches interpret route.AdaptivePort
+	// header bytes as the Duato route-anywhere marker (see adaptive.go).
+	adaptive *AdaptiveTable
 
 	// Active-element sets (see active.go): Tick visits only these indices.
 	linkAct bitset // indices into links
@@ -458,12 +462,6 @@ func (f *Fabric) Inject(host topology.NodeID, w *flit.Worm) error {
 	}
 	if w.Mode == flit.Broadcast && f.UD == nil {
 		return fmt.Errorf("network: broadcast worm without up/down routing")
-	}
-	if f.Cfg.VCHeaders && w.Mode != flit.Unicast {
-		// VC-headered route bytes only exist for unicast worms; keeping
-		// replicating traffic out guarantees lanes above 0 never carry
-		// multicast crossbar state.
-		return fmt.Errorf("network: %v worm on a VC-headered fabric (VC routing is unicast-only)", w.Mode)
 	}
 	w.Created = f.K.Now()
 	w.Epoch = f.epoch

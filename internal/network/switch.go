@@ -79,6 +79,12 @@ type inPort struct {
 	// per retried tick.
 	blocked bool
 
+	// adaptive marks a pmWait head holding the route.AdaptivePort marker:
+	// its output request is recomputed from live lane occupancy every tick
+	// (adaptiveSelect) instead of being fixed at decode time.  Only
+	// meaningful in pmWait; setMode clears it on every other transition.
+	adaptive bool
+
 	// Multicast header collection parser state.
 	mcBuf       []byte
 	mcSkip      int
@@ -151,6 +157,9 @@ func (in *inPort) pop() flit.Flit {
 // construction must go through here.
 func (in *inPort) setMode(m portMode) {
 	in.mode = m
+	if m != pmWait {
+		in.adaptive = false
+	}
 	sw := in.sw
 	switch {
 	case m == pmBoundUni || m == pmBoundMC:
@@ -332,9 +341,17 @@ func (s *swState) routeInput(in *inPort, now des.Time) {
 		switch fl.W.Mode {
 		case flit.Unicast:
 			b := in.pop()
-			in.reqOuts = append(in.reqOuts[:0], s.laneFor(b.B))
-			in.reqStamps = append(in.reqStamps[:0], nil)
-			in.setMode(pmWait)
+			if s.f.adaptive != nil && b.B == route.AdaptivePort {
+				// Duato marker: the output is chosen per-hop from live lane
+				// occupancy, re-evaluated each tick by adaptiveSelect (which
+				// grantOrDefer dispatches to while the flag is set).
+				in.setMode(pmWait)
+				in.adaptive = true
+			} else {
+				in.reqOuts = append(in.reqOuts[:0], s.laneFor(b.B))
+				in.reqStamps = append(in.reqStamps[:0], nil)
+				in.setMode(pmWait)
+			}
 		case flit.Broadcast:
 			b := in.pop()
 			if b.B == route.BroadcastPort {
@@ -454,7 +471,10 @@ func (s *swState) collect(in *inPort) {
 		if len(stamp) == 1 && stamp[0] == route.End {
 			stamp = nil // host delivery: no header on the exiting copy
 		}
-		in.reqOuts = append(in.reqOuts, int(sp.Port)*s.f.nvc)
+		// Branch bytes decode exactly like unicast route bytes: VC-headered
+		// fabrics unpack vc<<6|port so each fork branch carries its own lane;
+		// plain port bytes land on lane 0 either way.
+		in.reqOuts = append(in.reqOuts, s.laneFor(byte(sp.Port)))
 		in.reqStamps = append(in.reqStamps, stamp)
 	}
 	in.setMode(pmWait)
@@ -567,6 +587,13 @@ func (s *swState) flushIfMCIdle(in *inPort, now des.Time) bool {
 // grant) it grants immediately in scan order; under ArbISLIP single-output
 // requests are deferred to the post-scan iSLIP scheduling cell.
 func (s *swState) grantOrDefer(in *inPort, now des.Time) {
+	if in.adaptive {
+		// Adaptive heads re-decide their request from current occupancy and
+		// grab free lanes immediately; deferring to iSLIP would arbitrate a
+		// request that is stale by the time the scheduling cell runs.
+		s.adaptiveSelect(in, now)
+		return
+	}
 	if s.arb != nil && len(in.reqOuts) == 1 {
 		// Prune every tick even while deferred, so stale routes into dead
 		// links are noticed as promptly as under the scan.
@@ -713,6 +740,19 @@ func (s *swState) transmit(now des.Time) {
 				o.link.stalled++
 				return
 			}
+			if o.phase == opPrefix {
+				// Stamping a header onto the exiting copy (adaptive marker
+				// or escape-route bytes); payload follows once it is out.
+				b := o.prefix[o.prefixPos]
+				o.prefixPos++
+				o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Header, B: b, VC: o.vc})
+				f.moved = true
+				f.ctr.FlitsCarried++
+				if o.prefixPos == len(o.prefix) {
+					o.phase = opPayload
+				}
+				return
+			}
 			if in.fill == 0 {
 				return
 			}
@@ -742,10 +782,11 @@ func (s *swState) transmit(now des.Time) {
 // tick, computing the decision once per link per tick (cached on the
 // link).  The scheduler is a stateless rotating priority: starting from
 // now % nvc, the first ready bound lane wins.  Ready means unstopped with
-// a flit (or prefix byte) to send.  Multicast bindings always ride lane 0
-// and never share a wire with sibling lanes (VC-headered fabrics are
-// unicast-only), so only pmBoundUni lanes compete here.  Statelessness
-// matters: replay and fast-forward need no scheduler state to repair.
+// a flit (or prefix byte) to send.  Multicast branch lanes compete like
+// unicast ones; a granted branch that cannot send (a sibling branch of
+// its fork is blocked) idles the wire, which models IDLE fill.
+// Statelessness matters: replay and fast-forward need no scheduler state
+// to repair.
 func (s *swState) laneGrant(l *dlink, base int, now des.Time) int8 {
 	if l.grantTick == now {
 		return l.grantVC
@@ -772,10 +813,19 @@ func (s *swState) laneGrant(l *dlink, base int, now des.Time) int8 {
 	return -1
 }
 
+// wireHeld reports whether, on a multi-lane fabric, the physical wire of
+// output lane o belongs to a sibling lane this tick (rotating lane grant).
+// Single-lane fabrics have no multiplexing, so the wire is always o's.
+func (s *swState) wireHeld(o *outPort, now des.Time) bool {
+	return s.f.nvc > 1 && s.laneGrant(o.link, o.base, now) != int8(o.vc)
+}
+
 func (s *swState) transmitMC(in *inPort, now des.Time) {
 	// Stage 1: branches still stamping their headers send prefix bytes
 	// independently.  Shared payload cannot advance until every branch has
-	// finished its prefix.
+	// finished its prefix.  Each branch rides its own lane (o.vc; lane 0
+	// unless the fork decoded VC-headered branch bytes), so backpressure
+	// and wire multiplexing are checked per lane.
 	anyPrefix := false
 	for _, oi := range in.outs {
 		o := &s.out[oi]
@@ -783,12 +833,12 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			continue
 		}
 		anyPrefix = true
-		if o.link.stopped(0) {
+		if o.link.stopped(o.vc) {
 			o.link.stalled++
-		} else {
+		} else if !s.wireHeld(o, now) {
 			b := o.prefix[o.prefixPos]
 			o.prefixPos++
-			o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Header, B: b})
+			o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Header, B: b, VC: o.vc})
 			s.f.moved = true
 			s.f.ctr.FlitsCarried++
 			if o.prefixPos == len(o.prefix) {
@@ -800,13 +850,22 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 		return
 	}
 	// Stage 2: is any streaming branch backpressured?  Every stalled
-	// branch counts toward its link's stall time, so no early break.
+	// branch counts toward its link's stall time, so no early break.  A
+	// branch whose wire a sibling lane holds this tick is not blocked in
+	// the scheme sense (that is transient multiplexing, not congestion) but
+	// the shared pop must still wait for it.
 	anyStopped := false
+	wireLost := false
 	for _, oi := range in.outs {
 		o := &s.out[oi]
-		if o.phase == opPayload && o.link.stopped(0) {
+		if o.phase != opPayload {
+			continue
+		}
+		if o.link.stopped(o.vc) {
 			anyStopped = true
 			o.link.stalled++
+		} else if s.wireHeld(o, now) {
+			wireLost = true
 		}
 	}
 	if anyStopped {
@@ -817,8 +876,8 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			// resumption (Section 3, scheme (b)/(c)).
 			for _, oi := range in.outs {
 				o := &s.out[oi]
-				if o.phase == opPayload && !o.link.stopped(0) {
-					o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Tail})
+				if o.phase == opPayload && !o.link.stopped(o.vc) && !s.wireHeld(o, now) {
+					o.link.send(now, flit.Flit{W: in.worm, Kind: flit.Tail, VC: o.vc})
 					s.f.moved = true
 					s.f.ctr.FlitsCarried++
 					s.f.ctr.Fragments++
@@ -833,7 +892,7 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			// IDLE symbols (modelled as silence).
 			for _, oi := range in.outs {
 				o := &s.out[oi]
-				if o.phase == opPayload && !o.link.stopped(0) {
+				if o.phase == opPayload && !o.link.stopped(o.vc) {
 					o.idleTicks++
 					if o.idleTicks == s.f.Cfg.IdleFlagTicks && s.f.rec != nil {
 						s.f.emit(now, trace.EvMCIdle, s.node, oi, in.worm.ID, int64(o.idleTicks))
@@ -842,6 +901,9 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 			}
 		}
 		return
+	}
+	if wireLost {
+		return // a sibling lane owns some branch's wire; retry next tick
 	}
 	// Stage 3: blocking has ceased; resume interrupted branches by
 	// re-stamping their stored headers, which costs the prefix bytes again.
@@ -873,7 +935,10 @@ func (s *swState) transmitMC(in *inPort, now des.Time) {
 	fl := in.pop()
 	for _, oi := range in.outs {
 		o := &s.out[oi]
-		o.link.send(now, fl)
+		// Re-tag with the branch's outgoing lane, as the unicast relay does.
+		bf := fl
+		bf.VC = o.vc
+		o.link.send(now, bf)
 		o.idleTicks = 0
 		s.f.ctr.FlitsCarried++
 	}

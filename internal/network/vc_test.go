@@ -223,15 +223,57 @@ func TestKillLinkDropsBothLanes(t *testing.T) {
 	}
 }
 
-// TestVCHeadersRejectMulticast: a fabric decoding VC headers cannot carry
-// tree or broadcast worms (lanes >0 are unicast-only by construction).
-func TestVCHeadersRejectMulticast(t *testing.T) {
+// TestVCMulticastForkPerBranchLanes: a VC-headered fabric carries tree
+// worms, with every fork branch riding its own (port, lane) pair.  The
+// multicast forks at s0 toward local host b (lane 0) and across the trunk
+// on lane 1 toward d, while a concurrent unicast holds the trunk's lane 0 —
+// per-branch lane state keeps the copies independent and all three
+// deliveries land intact.
+func TestVCMulticastForkPerBranchLanes(t *testing.T) {
 	g, _, _, hosts := vcGraph()
 	r := newRig(t, g, Config{NumVCs: 2, VCHeaders: true})
-	w := &flit.Worm{ID: 999, Src: hosts["a"], Dst: topology.None, Group: 0,
-		Mode: flit.MulticastTree, Header: []byte{0}, PayloadLen: 4}
-	if err := r.f.Inject(hosts["a"], w); err == nil {
-		t.Fatal("VC-header fabric accepted a multicast worm")
+	trunkL1, err := route.EncodeVCPort(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := &route.Tree{Branches: []route.Branch{
+		{Port: 2}, // host b: same-switch leaf, lane 0
+		{Port: topology.PortID(trunkL1), Sub: &route.Tree{Branches: []route.Branch{
+			{Port: 2}, // host d: leaf at s1, lane 0
+		}}},
+	}}
+	h, err := route.Encode(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wormIDs++
+	mc := &flit.Worm{ID: wormIDs, Src: hosts["a"], Dst: topology.None, Group: 0,
+		Mode: flit.MulticastTree, Header: h, PayloadLen: 200}
+	uni := vcWorm(t, hosts["e"], hosts["c"], 200, [2]int{0, 0}, [2]int{1, 0})
+	if err := r.f.Inject(hosts["a"], mc); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.f.Inject(hosts["e"], uni); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 0)
+	got := r.deliveredHosts()
+	for _, n := range []string{"b", "c", "d"} {
+		if got[hosts[n]] != 1 {
+			t.Fatalf("host %s received %d copies (all: %v)", n, got[hosts[n]], got)
+		}
+	}
+	for _, d := range r.deliveries {
+		if d.Worm.PayloadLen != 200 {
+			t.Fatalf("payload %d delivered, want 200", d.Worm.PayloadLen)
+		}
+	}
+	c := r.f.Counters()
+	if c.Injected != 2 || c.Delivered != 3 || c.WormsDropped != 0 {
+		t.Fatalf("counters %+v", c)
+	}
+	if held := r.f.HeldChannels(); len(held) != 0 {
+		t.Fatalf("%d held channels after drain", len(held))
 	}
 }
 

@@ -57,6 +57,18 @@ const MaxPort = 0xFD
 // this byte).
 const BroadcastPort = 0xFE
 
+// AdaptivePort is the route-anywhere marker used by Duato-style adaptive
+// routing: a unicast worm whose header is the single byte AdaptivePort asks
+// each switch to pick the output itself — an adaptive lane (VC >= 1) of any
+// minimal productive port if one is free, otherwise the deadlock-free
+// lane-0 escape route — and to re-stamp the marker on the forwarded copy.
+//
+// The byte value deliberately aliases MaxPort: it is only interpreted as a
+// marker by fabrics with an adaptive table installed (network.SetAdaptive),
+// where explicit route bytes never reach 0xFD; everywhere else it remains
+// an ordinary encodable port number, so EncodeUnicast needs no special case.
+const AdaptivePort = 0xFD
+
 // Tree is a multicast routing tree rooted at the first switch the worm
 // enters.  Branches are the output ports taken at that switch; a branch
 // with a nil Sub delivers to whatever the port is wired to (a host).

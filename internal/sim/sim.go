@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"wormlan/internal/adapter"
 	"wormlan/internal/des"
@@ -101,13 +102,25 @@ type Config struct {
 	// deadlock-free spanning-tree routing the paper assumes), "vcmin"
 	// (VC-partitioned minimal torus routing with dateline lane switching;
 	// needs TorusGeom and at least two virtual channels — see
-	// internal/vcroute), or "fullmesh" (direct routing over a pairwise-
-	// adjacent switch mesh, deadlock-free without VCs).  The alternative
-	// schemes are unicast-only and support no topology-change recovery.
+	// internal/vcroute), "fullmesh" (direct routing over a pairwise-
+	// adjacent switch mesh, deadlock-free without VCs), "adaptive"
+	// (Duato escape-lane routing: adaptive lanes >= 1 chosen per hop from
+	// local occupancy, lane-0 up*/down* escape), "clos" (spine-
+	// deterministic leaf-spine direct routing; needs ClosGeom), or
+	// "shufflenet" (forward-column routing with wrap-count lanes; needs
+	// ShuffleGeom and three virtual channels).  Per-scheme capabilities —
+	// multicast traffic, switch-level replication, topology-change
+	// recovery — are declared in routeSchemes and enforced by Validate.
 	Route string `json:"route,omitempty"`
 	// TorusGeom supplies the torus geometry for Route == "vcmin"; build
 	// the Graph with topology.TorusWithGeom to obtain it.
 	TorusGeom *topology.TorusGeom `json:"-"`
+	// ClosGeom supplies the leaf-spine geometry for Route == "clos"; build
+	// the Graph with topology.ClosWithGeom to obtain it.
+	ClosGeom *topology.ClosGeom `json:"-"`
+	// ShuffleGeom supplies the shufflenet geometry for Route ==
+	// "shufflenet"; build the Graph with topology.BidirShufflenetWithGeom.
+	ShuffleGeom *topology.ShuffleGeom `json:"-"`
 
 	// Tracer, when non-nil, receives the run's worm-lifecycle and protocol
 	// event stream (see internal/trace).  Tracing observes; it never
@@ -209,40 +222,133 @@ type Results struct {
 	EndTime des.Time
 }
 
-// validateRoute rejects Config combinations the alternative routing
-// schemes cannot honour.  The vcmin and fullmesh tables are unicast-only
-// (multicast needs the Hamiltonian/tree embeddings or tree-restricted
-// switch replication, all of which assume up/down routes) and static:
-// recovery from a topology change recomputes up/down routes, which would
-// silently abandon the scheme mid-run.  Corruption and host-stall faults
-// change no routes and stay allowed.
-func validateRoute(cfg *Config) error {
-	switch cfg.Route {
-	case "", "updown":
-		return nil
-	case "vcmin", "fullmesh":
-	default:
-		return fmt.Errorf("sim: unknown route scheme %q (want updown, vcmin, or fullmesh)", cfg.Route)
-	}
-	if cfg.MulticastProb != 0 || cfg.NumGroups > 0 || cfg.Groups != nil {
-		return fmt.Errorf("sim: route %q is unicast-only (multicast traffic configured)", cfg.Route)
-	}
-	if cfg.Scheme.SwitchLevel {
-		return fmt.Errorf("sim: route %q is incompatible with switch-level replication (tree-restricted routing required)", cfg.Route)
-	}
-	if cfg.FaultPlan != nil {
-		for _, ev := range cfg.FaultPlan.Events {
-			//wormlint:partial only topology-changing kinds are rejected; corruption and stalls need no route recovery
-			switch ev.Kind {
-			case fault.LinkDown, fault.LinkUp, fault.SwitchDown, fault.SwitchUp:
-				return fmt.Errorf("sim: route %q has no topology-change recovery (fault plan schedules %s)", cfg.Route, ev.Kind)
-			}
+// routeCaps declares what a routing scheme supports.  Every hard
+// rejection in Validate traces back to one of these flags, so adding a
+// scheme means declaring its capabilities here, not editing validation
+// logic.
+type routeCaps struct {
+	// multicast: the adapter-level multicast embeddings (Hamiltonian
+	// circuit, trees) may ride this scheme's unicast tables.
+	multicast bool
+	// switchMC: tree-restricted switch-level replication works — it
+	// requires the routes to BE the up/down spanning tree, so only the
+	// up/down scheme qualifies.
+	switchMC bool
+	// recovery: topology changes rebuild this scheme's table over the
+	// survivors (fault plans with link/switch events and hello detection
+	// are allowed).
+	recovery bool
+}
+
+// routeSchemes is the capability registry of legal Config.Route values.
+// All current schemes carry adapter multicast (the embeddings send plain
+// unicast worms host-to-host) and rebuild-on-remap recovery; switch-level
+// replication stays up/down-only.
+var routeSchemes = map[string]routeCaps{
+	"":           {multicast: true, switchMC: true, recovery: true},
+	"updown":     {multicast: true, switchMC: true, recovery: true},
+	"vcmin":      {multicast: true, recovery: true},
+	"fullmesh":   {multicast: true, recovery: true},
+	"adaptive":   {multicast: true, recovery: true},
+	"clos":       {multicast: true, recovery: true},
+	"shufflenet": {multicast: true, recovery: true},
+}
+
+// Routes returns the legal Config.Route values, sorted ("" is the updown
+// default and is not listed separately).
+func Routes() []string {
+	names := make([]string, 0, len(routeSchemes))
+	for n := range routeSchemes {
+		if n != "" {
+			names = append(names, n)
 		}
 	}
-	if cfg.Detect == fault.DetectHello {
-		return fmt.Errorf("sim: route %q does not support hello detection (suspicion recovery recomputes up/down routes)", cfg.Route)
+	sort.Strings(names)
+	return names
+}
+
+// Validate checks the routing scheme and its capability combinations
+// without running anything, so CLIs can reject a bad -route (or an
+// unsupported combination) with the same error a Run would produce.
+// Geometry requirements are only checked when a Graph is present, letting
+// flag-level validation work on an otherwise zero Config.
+func (cfg *Config) Validate() error {
+	caps, ok := routeSchemes[cfg.Route]
+	if !ok {
+		return fmt.Errorf("sim: unknown route scheme %q (want one of %s)", cfg.Route, strings.Join(Routes(), ", "))
+	}
+	if cfg.Scheme.SwitchLevel && !caps.switchMC {
+		return fmt.Errorf("sim: route %q is incompatible with switch-level replication (tree-restricted routing required)", cfg.Route)
+	}
+	if !caps.multicast && (cfg.MulticastProb != 0 || cfg.NumGroups > 0 || cfg.Groups != nil) {
+		return fmt.Errorf("sim: route %q is unicast-only (multicast traffic configured)", cfg.Route)
+	}
+	if !caps.recovery {
+		if cfg.FaultPlan != nil {
+			for _, ev := range cfg.FaultPlan.Events {
+				//wormlint:partial only topology-changing kinds are rejected; corruption and stalls need no route recovery
+				switch ev.Kind {
+				case fault.LinkDown, fault.LinkUp, fault.SwitchDown, fault.SwitchUp:
+					return fmt.Errorf("sim: route %q has no topology-change recovery (fault plan schedules %s)", cfg.Route, ev.Kind)
+				}
+			}
+		}
+		if cfg.Detect == fault.DetectHello {
+			return fmt.Errorf("sim: route %q does not support hello detection (suspicion recovery recomputes routes)", cfg.Route)
+		}
+	}
+	if cfg.Graph != nil {
+		switch {
+		case cfg.Route == "vcmin" && cfg.TorusGeom == nil:
+			return fmt.Errorf("sim: route vcmin needs the torus geometry (build the Graph with topology.TorusWithGeom)")
+		case cfg.Route == "clos" && cfg.ClosGeom == nil:
+			return fmt.Errorf("sim: route clos needs the leaf-spine geometry (build the Graph with topology.ClosWithGeom)")
+		case cfg.Route == "shufflenet" && cfg.ShuffleGeom == nil:
+			return fmt.Errorf("sim: route shufflenet needs the shufflenet geometry (build the Graph with topology.BidirShufflenetWithGeom)")
+		}
 	}
 	return nil
+}
+
+// vcEncodedRoute reports whether the scheme's route bytes carry VC lane
+// ids (vc<<6|port) rather than raw port numbers.
+func vcEncodedRoute(route string) bool {
+	switch route {
+	case "vcmin", "adaptive", "shufflenet":
+		return true
+	}
+	return false
+}
+
+// rebuildSchemeTable recomputes the Route scheme's table over the
+// survivors after a remap: the recovery pipeline hands us the fresh
+// up/down labelling (whose failure set is the detector's view), and each
+// scheme derives its surviving table from it — pruning for the rigid
+// schemes (vcmin, fullmesh), genuine rerouting for clos, shufflenet, and
+// adaptive (which also reinstalls the fabric-side AdaptiveTable).
+func rebuildSchemeTable(cfg *Config, fab *network.Fabric, ud *updown.Routing, tbl *updown.Table, nvc int) (*updown.Table, error) {
+	switch cfg.Route {
+	case "", "updown":
+		return tbl, nil
+	case "vcmin":
+		return vcroute.TorusMinimalSurviving(cfg.Graph, cfg.TorusGeom, nvc, ud.Failures())
+	case "fullmesh":
+		return vcroute.FullMeshSurviving(cfg.Graph, ud.Failures())
+	case "clos":
+		return vcroute.Clos(cfg.Graph, cfg.ClosGeom, ud.Failures())
+	case "shufflenet":
+		return vcroute.Shufflenet(cfg.Graph, cfg.ShuffleGeom, nvc, ud.Failures())
+	case "adaptive":
+		at, err := network.NewAdaptiveTable(cfg.Graph, ud)
+		if err != nil {
+			return nil, err
+		}
+		if err := fab.SetAdaptive(at); err != nil {
+			return nil, err
+		}
+		return vcroute.Adaptive(cfg.Graph, ud)
+	}
+	return nil, fmt.Errorf("sim: unknown route scheme %q", cfg.Route)
 }
 
 // Run executes one simulation.
@@ -262,7 +368,7 @@ func Run(cfg Config) (*Results, error) {
 	if (cfg.FaultPlan != nil || cfg.Detect == fault.DetectHello) && cfg.Scheme.SwitchLevel {
 		return nil, fmt.Errorf("sim: fault injection and hello detection are not supported with switch-level replication (no recovery protocol)")
 	}
-	if err := validateRoute(&cfg); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	k := des.NewKernel()
@@ -301,13 +407,43 @@ func Run(cfg Config) (*Results, error) {
 		table, err = vcroute.TorusMinimal(cfg.Graph, cfg.TorusGeom, ncfg.NumVCs)
 	case "fullmesh":
 		table, err = vcroute.FullMesh(cfg.Graph)
+	case "adaptive":
+		if ncfg.NumVCs < 2 {
+			ncfg.NumVCs = 2
+		}
+		ncfg.VCHeaders = true
+		table, err = vcroute.Adaptive(cfg.Graph, ud)
+	case "clos":
+		table, err = vcroute.Clos(cfg.Graph, cfg.ClosGeom, nil)
+	case "shufflenet":
+		if ncfg.NumVCs < 3 {
+			ncfg.NumVCs = 3
+		}
+		ncfg.VCHeaders = true
+		table, err = vcroute.Shufflenet(cfg.Graph, cfg.ShuffleGeom, ncfg.NumVCs, nil)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Route != "" && cfg.Route != "updown" {
+		// One pass over the fresh table reports every broken pair at once —
+		// a miswired builder or geometry is diagnosable in a single run.
+		if verr := vcroute.ValidateTable(cfg.Graph, table, vcEncodedRoute(cfg.Route), true); verr != nil {
+			return nil, verr
+		}
 	}
 	fab, err := network.New(k, cfg.Graph, ud, ncfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Route == "adaptive" {
+		at, aerr := network.NewAdaptiveTable(cfg.Graph, ud)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if aerr := fab.SetAdaptive(at); aerr != nil {
+			return nil, aerr
+		}
 	}
 	hosts := cfg.Graph.Hosts()
 	res := &Results{Config: cfg}
@@ -443,8 +579,15 @@ func Run(cfg Config) (*Results, error) {
 		icfg := fault.InjectorConfig{
 			RemapDelay: cfg.RemapDelay,
 			Mode:       cfg.Detect,
-			OnRemap: func(ud *updown.Routing, tbl *updown.Table) {
-				sys.Reroute(tbl, ud.Reachable)
+			OnRemap: func(rud *updown.Routing, tbl *updown.Table) {
+				ntbl, rerr := rebuildSchemeTable(&cfg, fab, rud, tbl, ncfg.NumVCs)
+				if rerr != nil {
+					// Scheme rebuilds only fail on construction-level
+					// errors (bad geometry), which Validate and the
+					// initial build have already excluded.
+					panic(fmt.Sprintf("sim: route %q rebuild after remap: %v", cfg.Route, rerr))
+				}
+				sys.Reroute(ntbl, rud.Reachable)
 			},
 		}
 		if cfg.Detect == fault.DetectHello {

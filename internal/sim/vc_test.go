@@ -238,7 +238,9 @@ func TestISLIPDeterministicAndSound(t *testing.T) {
 }
 
 // TestRouteValidation: the config combinations the alternative schemes
-// cannot honour are rejected up front, with telling errors.
+// cannot honour are rejected up front, with telling errors, and the ones
+// the capability registry now grants (multicast, topology faults, hello)
+// are accepted.
 func TestRouteValidation(t *testing.T) {
 	mk := vcminConfig
 	cases := []struct {
@@ -247,14 +249,10 @@ func TestRouteValidation(t *testing.T) {
 		want string
 	}{
 		{"unknown", func(c *Config) { c.Route = "left-hand" }, "unknown route"},
-		{"multicast-prob", func(c *Config) { c.MulticastProb = 0.1 }, "unicast-only"},
-		{"groups", func(c *Config) { c.NumGroups = 2; c.GroupSize = 3 }, "unicast-only"},
 		{"switch-level", func(c *Config) { c.Scheme = SwitchFabric }, "switch-level"},
-		{"topology-fault", func(c *Config) {
-			c.FaultPlan = (&fault.Plan{}).LinkDown(10_000, c.Graph.Hosts()[0], 0)
-		}, "topology-change"},
-		{"hello", func(c *Config) { c.Detect = fault.DetectHello }, "hello"},
 		{"no-geom", func(c *Config) { c.TorusGeom = nil }, "geometry"},
+		{"clos-no-geom", func(c *Config) { c.Route = "clos"; c.TorusGeom = nil }, "leaf-spine geometry"},
+		{"shufflenet-no-geom", func(c *Config) { c.Route = "shufflenet"; c.TorusGeom = nil }, "shufflenet geometry"},
 	}
 	for _, tc := range cases {
 		cfg := mk(0.2)
@@ -267,10 +265,41 @@ func TestRouteValidation(t *testing.T) {
 			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
 	}
+	// The unknown-route error spells out the full legal set, sorted, so
+	// CLI users see their options; Validate on a bare Config (no Graph)
+	// produces the same error a Run would.
+	bare := Config{Route: "left-hand"}
+	err := bare.Validate()
+	if err == nil {
+		t.Fatal("bare Validate accepted an unknown route")
+	}
+	const wantSet = "adaptive, clos, fullmesh, shufflenet, updown, vcmin"
+	if !strings.Contains(err.Error(), wantSet) {
+		t.Fatalf("unknown-route error %q does not list %q", err, wantSet)
+	}
 	// Corruption and host stalls change no routes: allowed.
 	cfg := mk(0.2)
 	cfg.FaultPlan = (&fault.Plan{}).Corrupt(20_000, 5).Stall(30_000, cfg.Graph.Hosts()[1], 2_000)
 	if _, err := Run(cfg); err != nil {
 		t.Fatalf("corruption+stall plan rejected under vcmin: %v", err)
+	}
+	// Formerly rejected, now capability-granted: multicast traffic on a
+	// VC-headered scheme and topology-changing fault plans on vcmin.
+	cfg = mk(0.15)
+	cfg.MulticastProb = 0.2
+	cfg.NumGroups = 2
+	cfg.GroupSize = 3
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("multicast over vcmin rejected: %v", err)
+	}
+	assertHealthy(t, r, "vcmin-mc")
+	if r.MCDeliveries == 0 {
+		t.Fatal("vcmin multicast run produced no multicast deliveries")
+	}
+	cfg = mk(0.15)
+	cfg.FaultPlan = (&fault.Plan{}).LinkDown(10_000, cfg.Graph.Hosts()[0], 0)
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("link-kill plan rejected under vcmin: %v", err)
 	}
 }

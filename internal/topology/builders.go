@@ -165,6 +165,35 @@ func FullMesh(nSwitches, hostsPerSwitch int, linkDelay int64) *Graph {
 // host.  The paper's Figure 11 uses the 24-node instance (p=2, k=3) with
 // 1000 byte-times of propagation per backbone link.
 func BidirShufflenet(p, k int, linkDelay int64) *Graph {
+	g, _ := BidirShufflenetWithGeom(p, k, linkDelay)
+	return g
+}
+
+// ShuffleGeom records the coordinate system of a shufflenet built by
+// BidirShufflenetWithGeom: which port of each switch leads forward along
+// each perfect-shuffle arc, and where the hosts attach.  Forward-column
+// routing (vcroute.Shufflenet) consumes this instead of re-deriving the
+// shuffle pattern from node IDs.
+type ShuffleGeom struct {
+	P, K, Rows int
+
+	// Sw[c][r] is the switch of column c, row r.
+	Sw [][]NodeID
+	// Fwd[c][r][j] is the port of Sw[c][r] toward its j-th forward
+	// neighbour, switch (c+1 mod K, (r*P+j) mod Rows).  For k == 2 some
+	// forward arcs of both columns share one full-duplex cable; Fwd then
+	// names each side's own port on that cable.
+	Fwd [][][]PortID
+	// HostPort[c][r] is the port of Sw[c][r] leading to its host,
+	// whose node id is Hosts[c][r].
+	HostPort [][]PortID
+	Hosts    [][]NodeID
+}
+
+// BidirShufflenetWithGeom builds the same graph as BidirShufflenet and
+// additionally returns its geometry.  The construction order — and
+// therefore every node and port id — is identical to BidirShufflenet's.
+func BidirShufflenetWithGeom(p, k int, linkDelay int64) (*Graph, *ShuffleGeom) {
 	if p < 2 || k < 2 {
 		panic("topology: shufflenet needs p >= 2, k >= 2")
 	}
@@ -176,15 +205,24 @@ func BidirShufflenet(p, k int, linkDelay int64) *Graph {
 		rows *= p
 	}
 	g := New()
-	sw := make([][]NodeID, k)
+	geo := &ShuffleGeom{P: p, K: k, Rows: rows}
+	geo.Sw = make([][]NodeID, k)
+	geo.Fwd = make([][][]PortID, k)
+	geo.HostPort = make([][]PortID, k)
+	geo.Hosts = make([][]NodeID, k)
+	sw := geo.Sw
 	for c := 0; c < k; c++ {
 		sw[c] = make([]NodeID, rows)
+		geo.Fwd[c] = make([][]PortID, rows)
 		for r := 0; r < rows; r++ {
 			sw[c][r] = g.AddSwitch(fmt.Sprintf("s%d.%d", c, r))
+			geo.Fwd[c][r] = make([]PortID, p)
 		}
 	}
 	type pair struct{ a, b NodeID }
 	seen := map[pair]bool{}
+	// portTo[{a, b}] is a's port on the (unique) cable toward b.
+	portTo := map[pair]PortID{}
 	for c := 0; c < k; c++ {
 		next := (c + 1) % k
 		for r := 0; r < rows; r++ {
@@ -197,21 +235,107 @@ func BidirShufflenet(p, k int, linkDelay int64) *Graph {
 				if a > b {
 					key = pair{b, a}
 				}
-				if a == b || seen[key] {
-					continue
+				if a != b && !seen[key] {
+					seen[key] = true
+					pa, pb := g.Connect(a, b, linkDelay)
+					portTo[pair{a, b}] = pa
+					portTo[pair{b, a}] = pb
 				}
-				seen[key] = true
-				g.Connect(a, b, linkDelay)
+				geo.Fwd[c][r][j] = portTo[pair{a, b}]
 			}
 		}
 	}
 	for c := 0; c < k; c++ {
+		geo.HostPort[c] = make([]PortID, rows)
+		geo.Hosts[c] = make([]NodeID, rows)
 		for r := 0; r < rows; r++ {
 			host := g.AddHost(fmt.Sprintf("h%d.%d", c, r))
-			g.Connect(sw[c][r], host, 1)
+			pa, _ := g.Connect(sw[c][r], host, 1)
+			geo.HostPort[c][r] = pa
+			geo.Hosts[c][r] = host
 		}
 	}
+	return g, geo
+}
+
+// ClosGeom records the structure of a leaf-spine Clos fabric built by
+// ClosWithGeom: which leaf port reaches which spine and vice versa, and
+// where the hosts attach.  Spine-deterministic direct routing
+// (vcroute.Clos) consumes this.
+type ClosGeom struct {
+	NLeaf, NSpine, HostsPer int
+
+	Leaf, Spine []NodeID
+	// Up[l][s] is the port of Leaf[l] toward Spine[s]; Down[s][l] the port
+	// of Spine[s] toward Leaf[l].
+	Up, Down [][]PortID
+	// HostPort[l][h] is the port of Leaf[l] leading to its h-th host,
+	// whose node id is Hosts[l][h].
+	HostPort [][]PortID
+	Hosts    [][]NodeID
+}
+
+// Clos builds a two-level leaf-spine Clos fabric: nLeaf leaf switches each
+// cabled to all nSpine spine switches, with hostsPerLeaf hosts per leaf.
+// Every inter-leaf path is exactly leaf -> spine -> leaf, which — like the
+// full mesh — is deadlock-free without virtual channels: an up (leaf to
+// spine) channel waits only on down channels, and down channels wait only
+// on host deliveries, which always drain.
+//
+// Port layout: leaf l's ports 0..nSpine-1 go to spines 0..nSpine-1 (so
+// spine s's ports 0..nLeaf-1 go to leaves 0..nLeaf-1), then the host
+// ports — fully deterministic, like every other builder.
+func Clos(nLeaf, nSpine, hostsPerLeaf int, linkDelay int64) *Graph {
+	g, _ := ClosWithGeom(nLeaf, nSpine, hostsPerLeaf, linkDelay)
 	return g
+}
+
+// ClosWithGeom builds the same graph as Clos and additionally returns its
+// geometry.
+func ClosWithGeom(nLeaf, nSpine, hostsPerLeaf int, linkDelay int64) (*Graph, *ClosGeom) {
+	if nLeaf < 2 || nSpine < 1 {
+		panic("topology: clos needs >= 2 leaves and >= 1 spine")
+	}
+	if hostsPerLeaf < 1 {
+		panic("topology: clos needs >= 1 host per leaf")
+	}
+	if linkDelay == 0 {
+		linkDelay = 1
+	}
+	g := New()
+	geo := &ClosGeom{NLeaf: nLeaf, NSpine: nSpine, HostsPer: hostsPerLeaf}
+	geo.Leaf = make([]NodeID, nLeaf)
+	geo.Spine = make([]NodeID, nSpine)
+	geo.Up = make([][]PortID, nLeaf)
+	geo.Down = make([][]PortID, nSpine)
+	for l := 0; l < nLeaf; l++ {
+		geo.Leaf[l] = g.AddSwitch(fmt.Sprintf("leaf%d", l))
+		geo.Up[l] = make([]PortID, nSpine)
+	}
+	for s := 0; s < nSpine; s++ {
+		geo.Spine[s] = g.AddSwitch(fmt.Sprintf("spine%d", s))
+		geo.Down[s] = make([]PortID, nLeaf)
+	}
+	for l := 0; l < nLeaf; l++ {
+		for s := 0; s < nSpine; s++ {
+			pa, pb := g.Connect(geo.Leaf[l], geo.Spine[s], linkDelay)
+			geo.Up[l][s] = pa
+			geo.Down[s][l] = pb
+		}
+	}
+	geo.HostPort = make([][]PortID, nLeaf)
+	geo.Hosts = make([][]NodeID, nLeaf)
+	for l := 0; l < nLeaf; l++ {
+		geo.HostPort[l] = make([]PortID, hostsPerLeaf)
+		geo.Hosts[l] = make([]NodeID, hostsPerLeaf)
+		for h := 0; h < hostsPerLeaf; h++ {
+			host := g.AddHost(fmt.Sprintf("h%d.%d", l, h))
+			pa, _ := g.Connect(geo.Leaf[l], host, 1)
+			geo.HostPort[l][h] = pa
+			geo.Hosts[l][h] = host
+		}
+	}
+	return g, geo
 }
 
 // Myrinet4 builds the four-switch, eight-host LAN used for the paper's

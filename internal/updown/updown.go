@@ -161,16 +161,53 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 			g.Node(src).Kind, g.Node(dst).Kind)
 	}
 	sSrc, _ := g.HostAttachment(src)
-	sDst, dstPortOnSwitch := g.HostAttachment(dst)
 	if src == dst {
 		return Route{}, fmt.Errorf("updown: route to self (host %d)", src)
 	}
 	if r.fail != nil && (!r.Reachable(src) || !r.Reachable(dst)) {
 		return Route{}, fmt.Errorf("updown: no surviving route from host %d to host %d", src, dst)
 	}
+	rt, err := r.routeFrom(sSrc, dst, treeOnly)
+	if err != nil {
+		return Route{}, fmt.Errorf("updown: no legal route from host %d to host %d (treeOnly=%v)",
+			src, dst, treeOnly)
+	}
+	rt.Src = src
+	return rt, nil
+}
+
+// RouteFromSwitch computes a shortest legal up*/down* route from a switch to
+// a host, starting in the up phase exactly as a freshly injected worm's walk
+// would.  Adaptive routing uses these as escape routes: a worm that wandered
+// off the up/down order on the adaptive lanes re-enters it here, and because
+// every escape-resident worm then only holds and waits on lane-0 channels of
+// one legal walk, the union of waits stays acyclic.  The returned Route has
+// Src set to the switch, so it must not be fed to VerifyRoute (which expects
+// host endpoints).
+func (r *Routing) RouteFromSwitch(sw, dst topology.NodeID) (Route, error) {
+	g := r.G
+	if g.Node(sw).Kind != topology.Switch || g.Node(dst).Kind != topology.Host {
+		return Route{}, fmt.Errorf("updown: RouteFromSwitch wants (switch, host), got (%s, %s)",
+			g.Node(sw).Kind, g.Node(dst).Kind)
+	}
+	if r.Level[sw] < 0 {
+		return Route{}, fmt.Errorf("updown: switch %d is not in the routed component", sw)
+	}
+	if r.fail != nil && !r.Reachable(dst) {
+		return Route{}, fmt.Errorf("updown: host %d unreachable", dst)
+	}
+	return r.routeFrom(sw, dst, false)
+}
+
+// routeFrom is the BFS core shared by host-to-host routing and escape-route
+// computation: a shortest legal up*/down* walk from switch start to host dst.
+func (r *Routing) routeFrom(start, dst topology.NodeID, treeOnly bool) (Route, error) {
+	g := r.G
+	sSrc := start
+	sDst, dstPortOnSwitch := g.HostAttachment(dst)
 	if sSrc == sDst {
 		// Single-switch route: one port, straight to the destination host.
-		return Route{Src: src, Dst: dst,
+		return Route{Src: start, Dst: dst,
 			Ports:    []topology.PortID{dstPortOnSwitch},
 			Switches: []topology.NodeID{sSrc}}, nil
 	}
@@ -191,10 +228,10 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 	}
 	prev := make([]prevHop, 2*len(g.Nodes))
 	seen := make([]bool, 2*len(g.Nodes))
-	start := routeState{sSrc, false}
-	seen[idx(start)] = true
+	origin := routeState{sSrc, false}
+	seen[idx(origin)] = true
 	queue := make([]routeState, 0, len(g.Nodes))
-	queue = append(queue, start)
+	queue = append(queue, origin)
 	var goal routeState
 	found := false
 	for qi := 0; qi < len(queue) && !found; qi++ {
@@ -228,13 +265,13 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 		}
 	}
 	if !found {
-		return Route{}, fmt.Errorf("updown: no legal route from host %d to host %d (treeOnly=%v)",
-			src, dst, treeOnly)
+		return Route{}, fmt.Errorf("updown: no legal route from switch %d to host %d (treeOnly=%v)",
+			start, dst, treeOnly)
 	}
 	// Walk back from goal to start.
 	var ports []topology.PortID
 	var sws []topology.NodeID
-	for cur := goal; cur != start; {
+	for cur := goal; cur != origin; {
 		h := prev[idx(cur)]
 		ports = append(ports, h.port)
 		sws = append(sws, h.state.node)
@@ -247,7 +284,7 @@ func (r *Routing) route(src, dst topology.NodeID, treeOnly bool) (Route, error) 
 	}
 	ports = append(ports, dstPortOnSwitch)
 	sws = append(sws, sDst)
-	return Route{Src: src, Dst: dst, Ports: ports, Switches: sws}, nil
+	return Route{Src: start, Dst: dst, Ports: ports, Switches: sws}, nil
 }
 
 // Route computes a shortest legal up*/down* route between two hosts.

@@ -51,43 +51,7 @@ func hostAttach(g *topology.Graph, h topology.NodeID) (sw topology.NodeID, port 
 // and Config.NumVCs >= nvc.  nvc must be at least 2 (the dateline needs a
 // second lane).
 func TorusMinimal(g *topology.Graph, geo *topology.TorusGeom, nvc int) (*updown.Table, error) {
-	if geo == nil {
-		return nil, fmt.Errorf("vcroute: torus geometry required (build with topology.TorusWithGeom)")
-	}
-	if nvc < 2 {
-		return nil, fmt.Errorf("vcroute: dateline routing needs >= 2 virtual channels, have %d", nvc)
-	}
-	hosts := g.Hosts()
-	// Host coordinates, from the geometry.
-	type coord struct{ r, c, h int }
-	at := make(map[topology.NodeID]coord, len(hosts))
-	for r := range geo.Hosts {
-		for c := range geo.Hosts[r] {
-			for h, id := range geo.Hosts[r][c] {
-				at[id] = coord{r, c, h}
-			}
-		}
-	}
-	routes := make([][]updown.Route, len(hosts))
-	for i, src := range hosts {
-		routes[i] = make([]updown.Route, len(hosts))
-		sc, ok := at[src]
-		if !ok {
-			return nil, fmt.Errorf("vcroute: host %d not in torus geometry", src)
-		}
-		for j, dst := range hosts {
-			if i == j {
-				continue
-			}
-			dc := at[dst]
-			rt, err := torusRoute(geo, src, dst, sc.r, sc.c, dc.r, dc.c, dc.h)
-			if err != nil {
-				return nil, err
-			}
-			routes[i][j] = rt
-		}
-	}
-	return updown.NewCustomTable(hosts, routes)
+	return TorusMinimalSurviving(g, geo, nvc, nil)
 }
 
 // ringSteps returns the hop count and direction (+1/-1) of the shorter way
@@ -173,37 +137,5 @@ func torusRoute(geo *topology.TorusGeom, src, dst topology.NodeID, r1, c1, r2, c
 // needed for deadlock freedom, so the table works with any NumVCs and
 // with VCHeaders on or off.
 func FullMesh(g *topology.Graph) (*updown.Table, error) {
-	hosts := g.Hosts()
-	routes := make([][]updown.Route, len(hosts))
-	for i, src := range hosts {
-		routes[i] = make([]updown.Route, len(hosts))
-		sa, _ := hostAttach(g, src)
-		for j, dst := range hosts {
-			if i == j {
-				continue
-			}
-			da, dp := hostAttach(g, dst)
-			rt := updown.Route{Src: src, Dst: dst}
-			if sa != da {
-				// First port on the source attach switch wired to the
-				// destination attach switch, in ascending port order.
-				found := topology.PortID(-1)
-				for pi, p := range g.Node(sa).Ports {
-					if p.Wired() && p.Peer == da {
-						found = topology.PortID(pi)
-						break
-					}
-				}
-				if found < 0 {
-					return nil, fmt.Errorf("vcroute: switches %d and %d not adjacent (full mesh required)", sa, da)
-				}
-				rt.Ports = append(rt.Ports, found)
-				rt.Switches = append(rt.Switches, sa)
-			}
-			rt.Ports = append(rt.Ports, dp)
-			rt.Switches = append(rt.Switches, da)
-			routes[i][j] = rt
-		}
-	}
-	return updown.NewCustomTable(hosts, routes)
+	return FullMeshSurviving(g, nil)
 }
